@@ -1,0 +1,55 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 8) plus the repository's own ablations and
+   wall-clock timings.
+
+     dune exec bench/main.exe                 # everything, default seeds
+     dune exec bench/main.exe -- fig8 fig13   # selected experiments
+     dune exec bench/main.exe -- --seeds 75 all   # the paper's seed count *)
+
+open Cmdliner
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("fig8", Experiments.fig8);
+    ("fig9", Experiments.fig9);
+    ("fig10", Experiments.fig10);
+    ("fig11", Experiments.fig11);
+    ("fig12", Experiments.fig12);
+    ("fig13", Experiments.fig13);
+    ("fig14", Experiments.fig14);
+    ("fig15", Experiments.fig15);
+    ("ablation", Experiments.ablation);
+    ("timing", fun (_ : Experiments.config) -> Timing.run ());
+  ]
+
+let names_arg =
+  let all = List.map fst experiments in
+  let doc =
+    Printf.sprintf "Experiments to run: %s, or 'all' (default)." (String.concat " | " all)
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let seeds_arg =
+  let doc = "Random graphs per data point (paper: 75)." in
+  Arg.(value & opt int Experiments.default.Experiments.seeds & info [ "seeds" ] ~doc)
+
+let full_arg =
+  let doc = "Use the paper's 75 seeds per data point (slow)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let run names seeds full =
+  let cfg = { Experiments.seeds = (if full then 75 else seeds); base_seed = 42 } in
+  let names = if List.mem "all" names then List.map fst experiments else names in
+  let unknown = List.filter (fun n -> not (List.mem_assoc n experiments)) names in
+  match unknown with
+  | u :: _ ->
+      Printf.eprintf "unknown experiment %S\n" u;
+      exit 1
+  | [] ->
+      Printf.printf "fdlsp bench: %d seed(s) per data point\n" cfg.Experiments.seeds;
+      List.iter (fun n -> (List.assoc n experiments) cfg) names
+
+let () =
+  let info = Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures" in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ names_arg $ seeds_arg $ full_arg)))

@@ -1,0 +1,43 @@
+(* Tiny table-rendering and statistics helpers for the bench harness. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+      sqrt var
+
+(* Render rows with columns padded to their widest cell. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell) row)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length (render header)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let f1 x = Printf.sprintf "%.1f" x
+let section title = Printf.printf "\n== %s ==\n\n" title

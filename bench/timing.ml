@@ -1,0 +1,61 @@
+(* Wall-clock micro-benchmarks (Bechamel): one Test.make per algorithm
+   on fixed reference workloads, so regressions in the implementations
+   are visible independent of the simulated communication rounds. *)
+
+open Bechamel
+open Toolkit
+open Fdlsp_graph
+open Fdlsp_core
+
+let reference_udg =
+  lazy (fst (Gen.udg (Random.State.make [| 1234 |]) ~n:150 ~side:10. ~radius:1.))
+
+let reference_gnm = lazy (Gen.gnm (Random.State.make [| 1234 |]) ~n:150 ~m:450)
+
+let tests () =
+  let udg = Lazy.force reference_udg and gnm = Lazy.force reference_gnm in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  [
+    mk "greedy/udg150" (fun () -> ignore (Fdlsp_color.Greedy.color udg));
+    mk "exact-bounds/udg150" (fun () -> ignore (Fdlsp_color.Bounds.lower udg));
+    mk "distMIS-gbg/udg150" (fun () ->
+        ignore
+          (Dist_mis.run ~mis:(Mis.Luby (Random.State.make [| 5 |])) ~variant:Dist_mis.Gbg udg));
+    mk "distMIS-general/gnm150" (fun () ->
+        ignore
+          (Dist_mis.run
+             ~mis:(Mis.Luby (Random.State.make [| 5 |]))
+             ~variant:Dist_mis.General gnm));
+    mk "dfs/udg150" (fun () -> ignore (Dfs_sched.run udg));
+    mk "dfs/gnm150" (fun () -> ignore (Dfs_sched.run gnm));
+    mk "dmgc/udg150" (fun () -> ignore (Dmgc.run udg));
+    mk "dmgc/gnm150" (fun () -> ignore (Dmgc.run gnm));
+    mk "randomized/udg150" (fun () ->
+        ignore (Randomized.run ~rng:(Random.State.make [| 5 |]) udg));
+  ]
+
+let run () =
+  Report.section "Timing: wall-clock per full algorithm run (Bechamel OLS estimate)";
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let grouped = Test.make_grouped ~name:"fdlsp" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Printf.printf "[%s]\n" measure;
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name result ->
+          let cell =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.sprintf "%.3f ms/run" (est /. 1e6)
+            | _ -> "(no estimate)"
+          in
+          rows := [ name; cell ] :: !rows)
+        tbl;
+      let rows = List.sort compare !rows in
+      print_string (Report.table ~header:[ "algorithm"; "time" ] rows))
+    merged

@@ -1,0 +1,293 @@
+(* fdlsp: command-line front end.
+
+   Subcommands:
+     gen      - generate a workload graph and print/save it
+     schedule - run a scheduling algorithm and report the schedule
+     bounds   - print the paper's lower/upper bounds
+     dot      - graphviz export *)
+
+open Cmdliner
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_core
+
+(* --- shared argument parsing --------------------------------------- *)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log the algorithms' internal progress to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let out_arg =
+  let doc = "Write output to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let emit out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+type spec =
+  | Udg of int * float * float
+  | Qudg of int * float * float * float * float
+  | Gnm of int * int
+  | Gnp of int * float
+  | Tree of int
+  | Complete of int
+  | Bipartite of int * int
+  | Cycle of int
+  | Path of int
+  | Grid of int * int
+
+let spec_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+           (Printf.sprintf
+              "cannot parse graph spec %S (try udg:n,side,radius | qudg:n,side,radius,inner,p | gnm:n,m | gnp:n,p | \
+               tree:n | complete:n | bipartite:a,b | cycle:n | path:n | grid:r,c)"
+              s))
+    in
+    match String.split_on_char ':' s with
+    | [ kind; args ] -> (
+        let parts = String.split_on_char ',' args in
+        try
+          match (kind, parts) with
+          | "udg", [ n; side; r ] ->
+              Ok (Udg (int_of_string n, float_of_string side, float_of_string r))
+          | "qudg", [ n; side; r; inner; p ] ->
+              Ok
+                (Qudg
+                   ( int_of_string n,
+                     float_of_string side,
+                     float_of_string r,
+                     float_of_string inner,
+                     float_of_string p ))
+          | "gnm", [ n; m ] -> Ok (Gnm (int_of_string n, int_of_string m))
+          | "gnp", [ n; p ] -> Ok (Gnp (int_of_string n, float_of_string p))
+          | "tree", [ n ] -> Ok (Tree (int_of_string n))
+          | "complete", [ n ] -> Ok (Complete (int_of_string n))
+          | "bipartite", [ a; b ] -> Ok (Bipartite (int_of_string a, int_of_string b))
+          | "cycle", [ n ] -> Ok (Cycle (int_of_string n))
+          | "path", [ n ] -> Ok (Path (int_of_string n))
+          | "grid", [ r; c ] -> Ok (Grid (int_of_string r, int_of_string c))
+          | _ -> fail ()
+        with Failure _ -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf _ = Format.fprintf ppf "<graph spec>" in
+  Arg.conv (parse, print)
+
+let build_spec seed = function
+  | Udg (n, side, radius) -> fst (Gen.udg (Random.State.make [| seed |]) ~n ~side ~radius)
+  | Qudg (n, side, radius, inner, p) ->
+      fst (Gen.qudg (Random.State.make [| seed |]) ~n ~side ~radius ~inner ~p)
+  | Gnm (n, m) -> Gen.gnm (Random.State.make [| seed |]) ~n ~m
+  | Gnp (n, p) -> Gen.gnp (Random.State.make [| seed |]) ~n ~p
+  | Tree n -> Gen.random_tree (Random.State.make [| seed |]) n
+  | Complete n -> Gen.complete n
+  | Bipartite (a, b) -> Gen.complete_bipartite a b
+  | Cycle n -> Gen.cycle n
+  | Path n -> Gen.path n
+  | Grid (r, c) -> Gen.grid r c
+
+let graph_source =
+  let spec =
+    let doc =
+      "Generate the input graph: udg:n,side,radius | gnm:n,m | gnp:n,p | tree:n | \
+       complete:n | bipartite:a,b | cycle:n | path:n | grid:r,c."
+    in
+    Arg.(value & opt (some spec_conv) None & info [ "g"; "generate" ] ~docv:"SPEC" ~doc)
+  in
+  let file =
+    let doc = "Read the input graph from $(docv) ('n m' header + edge lines)." in
+    Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+  in
+  let combine spec file seed =
+    match (spec, file) with
+    | Some s, None -> Ok (build_spec seed s)
+    | None, Some path -> ( try Ok (Io.read_file path) with Failure m -> Error m)
+    | None, None -> Error "one of --generate or --input is required"
+    | Some _, Some _ -> Error "--generate and --input are mutually exclusive"
+  in
+  Term.(const combine $ spec $ file $ seed_arg)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("fdlsp: " ^ m);
+      exit 1
+
+(* --- gen ------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run graph out =
+    let g = or_die graph in
+    emit out (Io.to_string g)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a workload graph")
+    Term.(const run $ graph_source $ out_arg)
+
+(* --- schedule -------------------------------------------------------- *)
+
+type algo = Dist_gbg | Dist_general | Dist_gps | Dfs | Dmgc | Greedy_a | Random_a | Exact
+
+let algo_conv =
+  Arg.enum
+    [
+      ("distmis", Dist_gbg);
+      ("distmis-general", Dist_general);
+      ("distmis-gps", Dist_gps);
+      ("dfs", Dfs);
+      ("dmgc", Dmgc);
+      ("greedy", Greedy_a);
+      ("randomized", Random_a);
+      ("exact", Exact);
+    ]
+
+let run_algo algo seed g =
+  let rng () = Random.State.make [| seed; 0xA5 |] in
+  match algo with
+  | Dist_gbg ->
+      let r = Dist_mis.run ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g in
+      (r.Dist_mis.schedule, Some r.Dist_mis.stats)
+  | Dist_general ->
+      let r = Dist_mis.run ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.General g in
+      (r.Dist_mis.schedule, Some r.Dist_mis.stats)
+  | Dist_gps ->
+      let r = Dist_mis.run ~mis:Mis.Gps ~variant:Dist_mis.Gbg g in
+      (r.Dist_mis.schedule, Some r.Dist_mis.stats)
+  | Dfs ->
+      let r = Dfs_sched.run g in
+      (r.Dfs_sched.schedule, Some r.Dfs_sched.stats)
+  | Dmgc ->
+      let r = Dmgc.run g in
+      (r.Dmgc.schedule, Some r.Dmgc.stats)
+  | Greedy_a -> (Greedy.color g, None)
+  | Random_a ->
+      let r = Randomized.run ~rng:(rng ()) g in
+      (r.Randomized.schedule, Some r.Randomized.stats)
+  | Exact ->
+      let r = Dsatur.fdlsp_optimal g in
+      (Schedule.of_colors g r.Dsatur.coloring, None)
+
+let schedule_cmd =
+  let algo =
+    let doc =
+      "Algorithm: distmis | distmis-general | distmis-gps | dfs | dmgc | greedy | \
+       randomized | exact."
+    in
+    Arg.(value & opt algo_conv Dfs & info [ "a"; "algo" ] ~doc)
+  in
+  let show =
+    let doc = "Print the full slot table." in
+    Arg.(value & flag & info [ "show-slots" ] ~doc)
+  in
+  let save =
+    let doc = "Also write the schedule itself to $(docv) (see 'validate')." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run graph algo seed show out save verbose =
+    setup_logs verbose;
+    let g = or_die graph in
+    let sched, stats = run_algo algo seed g in
+    let sched = Schedule.normalize sched in
+    (match save with None -> () | Some path -> Schedule.write_file path sched);
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "nodes=%d edges=%d max_degree=%d avg_degree=%.2f\n" (Graph.n g)
+         (Graph.m g) (Graph.max_degree g) (Graph.avg_degree g));
+    Buffer.add_string buf
+      (Printf.sprintf "slots=%d lower_bound=%d upper_bound=%d valid=%b\n"
+         (Schedule.num_slots sched) (Bounds.lower g) (Bounds.upper g) (Schedule.valid sched));
+    (match stats with
+    | Some s ->
+        Buffer.add_string buf
+          (Printf.sprintf "rounds=%d messages=%d\n" s.Fdlsp_sim.Stats.rounds
+             s.Fdlsp_sim.Stats.messages)
+    | None -> ());
+    if show then Buffer.add_string buf (Format.asprintf "%a" Schedule.pp sched);
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Run a TDMA link scheduling algorithm")
+    Term.(const run $ graph_source $ algo $ seed_arg $ show $ out_arg $ save $ verbose_arg)
+
+(* --- bounds ----------------------------------------------------------- *)
+
+let bounds_cmd =
+  let exact =
+    let doc = "Also compute the exact optimum (exponential; small graphs only)." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run graph exact out =
+    let g = or_die graph in
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "lower_bound=%d upper_bound=%d clique_lower=%d\n" (Bounds.lower g)
+         (Bounds.upper g)
+         (Bounds.clique_lower g));
+    if exact then begin
+      let r = Dsatur.fdlsp_optimal g in
+      Buffer.add_string buf
+        (Printf.sprintf "optimal=%d proven=%b\n" r.Dsatur.colors_used
+           (r.Dsatur.status = Dsatur.Optimal))
+    end;
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the paper's slot-count bounds")
+    Term.(const run $ graph_source $ exact $ out_arg)
+
+(* --- validate ---------------------------------------------------------- *)
+
+let validate_cmd =
+  let sched_file =
+    let doc = "Schedule file produced by 'schedule --save'." in
+    Arg.(required & opt (some string) None & info [ "s"; "schedule" ] ~docv:"FILE" ~doc)
+  in
+  let run graph sched_file =
+    let g = or_die graph in
+    match Schedule.read_file g sched_file with
+    | exception Failure m ->
+        prerr_endline ("fdlsp: " ^ m);
+        exit 1
+    | sched -> (
+        match Schedule.validate sched with
+        | Ok () ->
+            Printf.printf "valid: %d slots over %d arcs\n" (Schedule.num_slots sched)
+              (2 * Graph.m g)
+        | Error v ->
+            Printf.printf "INVALID: %s\n" (Format.asprintf "%a" (Schedule.pp_violation g) v);
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check a saved schedule against a graph")
+    Term.(const run $ graph_source $ sched_file)
+
+(* --- dot --------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run graph out =
+    let g = or_die graph in
+    emit out (Graph.to_dot g)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the graph as Graphviz") Term.(const run $ graph_source $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "fdlsp" ~version:"1.0.0"
+      ~doc:"Distributed TDMA link scheduling for sensor networks (FDLSP)"
+  in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; schedule_cmd; validate_cmd; bounds_cmd; dot_cmd ]))

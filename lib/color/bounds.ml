@@ -1,0 +1,37 @@
+open Fdlsp_graph
+
+let upper g =
+  if Graph.m g = 0 then 0
+  else
+    let d = Graph.max_degree g in
+    2 * d * d
+
+let cluster_size g v w = Clique.triangles_on_edge g v w
+
+let joint_clique_edges g v w =
+  match Graph.common_neighbors g v w with
+  | [] | [ _ ] -> 0
+  | common ->
+      let sub, _ = Graph.induced g common in
+      let k = Clique.max_clique_size sub in
+      k * (k - 1) / 2
+
+let node_bound g v =
+  let deg = Graph.degree g v in
+  if deg = 0 then 0
+  else
+    Graph.fold_neighbors g v
+      (fun acc w ->
+        let value = deg + cluster_size g v w + joint_clique_edges g v w in
+        max acc value)
+      deg
+
+let lower g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let b = node_bound g v in
+    if b > !best then best := b
+  done;
+  2 * !best
+
+let clique_lower g = Clique.max_clique_size (Conflict.conflict_graph g)

@@ -1,0 +1,42 @@
+(** The paper's bounds on the number of FDLSP time slots (Section 3).
+
+    Lower bound (Theorem 1): for every node [v] and incident edge
+    [(v,w)], the edges incident on [v], the outer edges of the cluster
+    with common edge [(v,w)], and the edges of the largest joint clique
+    of that cluster pairwise conflict in both directions, so any
+    schedule needs at least
+    [2 * (deg v + cluster_size + joint_clique_edges)] slots.
+
+    Upper bound (Lemma 6): greedy coloring of the conflict graph never
+    needs more than [2 Δ²] colors. *)
+
+open Fdlsp_graph
+
+val upper : Graph.t -> int
+(** [2 Δ²]; 0 for an edgeless graph. *)
+
+val cluster_size : Graph.t -> int -> int -> int
+(** [cluster_size g v w] is the size of the cluster of center [v] with
+    common edge [(v,w)] — the number of size-3 cliques on that edge
+    (Definition 3). *)
+
+val joint_clique_edges : Graph.t -> int -> int -> int
+(** Edges of the largest joint clique of the cluster of center [v] with
+    common edge [(v,w)] (Definitions 5–6): the largest clique among the
+    common neighbors of [v] and [w], counted in edges [k(k-1)/2]. *)
+
+val node_bound : Graph.t -> int -> int
+(** The Theorem 1 quantity for one node:
+    [max over incident edges (v,w) of
+       deg v + cluster_size v w + joint_clique_edges v w],
+    or [deg v] when [v] has no incident triangle. *)
+
+val lower : Graph.t -> int
+(** Theorem 1: [2 * max over v of node_bound v] (0 for an edgeless
+    graph).  Always at least [2 Δ]. *)
+
+val clique_lower : Graph.t -> int
+(** A possibly stronger, more expensive lower bound: the size of a
+    maximum clique of the conflict graph (exact Bron–Kerbosch; only use
+    on small instances).  Any clique of the conflict graph is a set of
+    pairwise-conflicting arcs, all of which need distinct slots. *)

@@ -1,0 +1,44 @@
+open Fdlsp_graph
+
+let conflict g a b =
+  a <> b
+  &&
+  let ta = Arc.tail g a and ha = Arc.head g a in
+  let tb = Arc.tail g b and hb = Arc.head g b in
+  ta = tb || ta = hb || ha = tb || ha = hb
+  || Graph.mem_edge g ha tb || Graph.mem_edge g hb ta
+
+(* Arcs conflicting with a = (u, v):
+   - arcs incident on u or on v (shared endpoint, and the hidden-terminal
+     pairs whose other arc touches u or v);
+   - arcs whose tail is a neighbor of v (v = head of a would hear them);
+   - arcs whose head is a neighbor of u (that head would hear u).
+   Each candidate is at hop distance <= 2 of the edge, so we enumerate
+   the 2-neighborhood and deduplicate with a stamp array. *)
+let iter_conflicting g a f =
+  let u = Arc.tail g a and v = Arc.head g a in
+  let seen = Hashtbl.create 64 in
+  let emit b =
+    if b <> a && not (Hashtbl.mem seen b) then begin
+      Hashtbl.replace seen b ();
+      f b
+    end
+  in
+  Arc.iter_incident g u emit;
+  Arc.iter_incident g v emit;
+  Graph.iter_neighbors g v (fun w -> Arc.iter_out g w emit);
+  Graph.iter_neighbors g u (fun w -> Arc.iter_in g w emit)
+
+let conflicting g a =
+  let out = ref [] in
+  iter_conflicting g a (fun b -> out := b :: !out);
+  List.sort compare !out
+
+let degree_bound g =
+  let d = Graph.max_degree g in
+  (2 * d * d) - 1
+
+let conflict_graph g =
+  let edges = ref [] in
+  Arc.iter g (fun a -> iter_conflicting g a (fun b -> if a < b then edges := (a, b) :: !edges));
+  Graph.create ~n:(Arc.count g) !edges

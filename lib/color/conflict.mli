@@ -1,0 +1,30 @@
+(** The FDLSP conflict relation on arcs (paper Definition 2).
+
+    Arcs [a = (u,v)] and [b = (w,x)] of the bi-directed graph conflict —
+    i.e. may not be scheduled in the same TDMA slot — iff they share an
+    endpoint, or the head of one is adjacent to the tail of the other
+    (the hidden terminal condition).  This single predicate subsumes ILP
+    constraints (2), (4), (5), (6) of Section 4. *)
+
+open Fdlsp_graph
+
+val conflict : Graph.t -> Arc.id -> Arc.id -> bool
+(** [conflict g a b] for distinct arcs; an arc never conflicts with
+    itself ([conflict g a a = false]). *)
+
+val iter_conflicting : Graph.t -> Arc.id -> (Arc.id -> unit) -> unit
+(** [iter_conflicting g a f] calls [f] on every arc conflicting with
+    [a], each exactly once, [a] excluded.  Runs in time proportional to
+    the distance-2 arc neighborhood of [a]. *)
+
+val conflicting : Graph.t -> Arc.id -> Arc.id list
+(** Same as {!iter_conflicting}, as an ascending list. *)
+
+val degree_bound : Graph.t -> int
+(** [2Δ² - 1], the Lemma 6 bound on the conflict degree of any arc. *)
+
+val conflict_graph : Graph.t -> Graph.t
+(** The conflict graph [G'] of Lemma 6: one node per arc of the
+    bi-directed view of [g] (node ids = arc ids), edges between
+    conflicting arcs.  Distance-2 edge coloring of [g] is exactly vertex
+    coloring of [conflict_graph g]. *)

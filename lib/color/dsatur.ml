@@ -1,0 +1,142 @@
+open Fdlsp_graph
+
+type status = Optimal | Feasible
+
+type result = {
+  status : status;
+  colors_used : int;
+  coloring : int array;
+  decisions : int;
+}
+
+(* Greedy clique around a seed vertex — cheap lower bound for pruning. *)
+let greedy_clique g =
+  let n = Graph.n g in
+  if n = 0 then []
+  else begin
+    let best = ref [] in
+    for seed = 0 to min (n - 1) 31 do
+      let clique = ref [ seed ] in
+      let candidates = ref (Array.to_list (Graph.neighbors g seed)) in
+      let cmp_deg a b = compare (Graph.degree g b) (Graph.degree g a) in
+      candidates := List.sort cmp_deg !candidates;
+      List.iter
+        (fun v ->
+          if List.for_all (fun w -> Graph.mem_edge g v w) !clique then clique := v :: !clique)
+        !candidates;
+      if List.length !clique > List.length !best then best := !clique
+    done;
+    !best
+  end
+
+let greedy_dsatur g =
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let sat = Array.make n 0 in
+  let adj_colors = Array.init n (fun _ -> Hashtbl.create 8) in
+  for _ = 1 to n do
+    (* pick uncolored vertex with max saturation, tie on degree *)
+    let pick = ref (-1) in
+    for v = 0 to n - 1 do
+      if color.(v) < 0 then
+        if
+          !pick < 0
+          || sat.(v) > sat.(!pick)
+          || (sat.(v) = sat.(!pick) && Graph.degree g v > Graph.degree g !pick)
+        then pick := v
+    done;
+    let v = !pick in
+    let c = ref 0 in
+    while Hashtbl.mem adj_colors.(v) !c do
+      incr c
+    done;
+    color.(v) <- !c;
+    Graph.iter_neighbors g v (fun w ->
+        if not (Hashtbl.mem adj_colors.(w) !c) then begin
+          Hashtbl.replace adj_colors.(w) !c ();
+          sat.(w) <- sat.(w) + 1
+        end)
+  done;
+  color
+
+let is_proper_coloring g coloring =
+  Array.length coloring = Graph.n g
+  && Array.for_all (fun c -> c >= 0) coloring
+  &&
+  let ok = ref true in
+  Graph.iter_edges g (fun _ u v -> if coloring.(u) = coloring.(v) then ok := false);
+  !ok
+
+exception Done
+
+let solve ?(max_decisions = 20_000_000) g =
+  let n = Graph.n g in
+  if n = 0 then { status = Optimal; colors_used = 0; coloring = [||]; decisions = 0 }
+  else begin
+    let initial = greedy_dsatur g in
+    let best_k = ref (1 + Array.fold_left max 0 initial) in
+    let best = ref (Array.copy initial) in
+    let clique = greedy_clique g in
+    let lb = List.length clique in
+    let color = Array.make n (-1) in
+    let decisions = ref 0 in
+    (* adj_count.(v).(c) = how many neighbors of v currently have color c *)
+    let adj_count = Array.init n (fun _ -> Array.make !best_k 0) in
+    let sat = Array.make n 0 in
+    let assign v c =
+      color.(v) <- c;
+      Graph.iter_neighbors g v (fun w ->
+          if adj_count.(w).(c) = 0 then sat.(w) <- sat.(w) + 1;
+          adj_count.(w).(c) <- adj_count.(w).(c) + 1)
+    in
+    let unassign v c =
+      color.(v) <- -1;
+      Graph.iter_neighbors g v (fun w ->
+          adj_count.(w).(c) <- adj_count.(w).(c) - 1;
+          if adj_count.(w).(c) = 0 then sat.(w) <- sat.(w) - 1)
+    in
+    (* Symmetry breaking: pre-color the clique. *)
+    List.iteri (fun i v -> if i < !best_k then assign v i) clique;
+    let preset = List.filteri (fun i _ -> i < !best_k) clique in
+    let colored0 = List.length preset in
+    let rec branch colored max_used =
+      if max_used >= !best_k - 1 then () (* cannot improve *)
+      else if colored = n then begin
+        best_k := max_used + 1;
+        best := Array.copy color
+      end
+      else begin
+        incr decisions;
+        if !decisions > max_decisions then raise Done;
+        let pick = ref (-1) in
+        for v = 0 to n - 1 do
+          if color.(v) < 0 then
+            if
+              !pick < 0
+              || sat.(v) > sat.(!pick)
+              || (sat.(v) = sat.(!pick) && Graph.degree g v > Graph.degree g !pick)
+            then pick := v
+        done;
+        let v = !pick in
+        let limit = min (max_used + 1) (!best_k - 2) in
+        for c = 0 to limit do
+          if adj_count.(v).(c) = 0 then begin
+            assign v c;
+            branch (colored + 1) (max c max_used);
+            unassign v c;
+            if !best_k <= lb then raise Done
+          end
+        done
+      end
+    in
+    let status =
+      try
+        let max_used0 = colored0 - 1 in
+        branch colored0 max_used0;
+        Optimal
+      with Done -> if !best_k <= lb then Optimal else Feasible
+    in
+    { status; colors_used = !best_k; coloring = !best; decisions = !decisions }
+  end
+
+let fdlsp_optimal ?max_decisions g = solve ?max_decisions (Conflict.conflict_graph g)

@@ -1,0 +1,152 @@
+open Fdlsp_graph
+
+type t = { graph : Graph.t; colors : int array }
+
+let uncolored = -1
+let make g = { graph = g; colors = Array.make (Arc.count g) uncolored }
+let graph t = t.graph
+let copy t = { t with colors = Array.copy t.colors }
+let get t a = t.colors.(a)
+
+let set t a c =
+  if c < 0 then invalid_arg "Schedule.set: negative color";
+  t.colors.(a) <- c
+
+let unset t a = t.colors.(a) <- uncolored
+let is_colored t a = t.colors.(a) >= 0
+let is_complete t = Array.for_all (fun c -> c >= 0) t.colors
+
+let num_slots t =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun c -> if c >= 0 then Hashtbl.replace seen c ()) t.colors;
+  Hashtbl.length seen
+
+let max_color t = Array.fold_left max (-1) t.colors
+let colors t = Array.copy t.colors
+
+let of_colors g cs =
+  if Array.length cs <> Arc.count g then invalid_arg "Schedule.of_colors: length mismatch";
+  Array.iter (fun c -> if c < -1 then invalid_arg "Schedule.of_colors: bad color") cs;
+  { graph = g; colors = Array.copy cs }
+
+type violation = Uncolored of Arc.id | Clash of Arc.id * Arc.id
+
+let pp_violation g ppf = function
+  | Uncolored a -> Format.fprintf ppf "arc %a is uncolored" (Arc.pp g) a
+  | Clash (a, b) ->
+      Format.fprintf ppf "arcs %a and %a conflict but share a slot" (Arc.pp g) a (Arc.pp g) b
+
+let find_clash t =
+  let exception Found of violation in
+  try
+    Arc.iter t.graph (fun a ->
+        if t.colors.(a) >= 0 then
+          Conflict.iter_conflicting t.graph a (fun b ->
+              if b > a && t.colors.(b) = t.colors.(a) then raise (Found (Clash (a, b)))));
+    None
+  with Found v -> Some v
+
+let validate t =
+  let exception Found of violation in
+  try
+    Arc.iter t.graph (fun a -> if t.colors.(a) < 0 then raise (Found (Uncolored a)));
+    match find_clash t with Some v -> Error v | None -> Ok ()
+  with Found v -> Error v
+
+let valid t = match validate t with Ok () -> true | Error _ -> false
+let valid_partial t = find_clash t = None
+
+let normalize t =
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let colors =
+    Array.map
+      (fun c ->
+        if c < 0 then c
+        else
+          match Hashtbl.find_opt remap c with
+          | Some c' -> c'
+          | None ->
+              let c' = !next in
+              incr next;
+              Hashtbl.replace remap c c';
+              c')
+      t.colors
+  in
+  { t with colors }
+
+let slot_arcs t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun a c ->
+      if c >= 0 then
+        match Hashtbl.find_opt tbl c with
+        | Some l -> l := a :: !l
+        | None -> Hashtbl.replace tbl c (ref [ a ]))
+    t.colors;
+  Hashtbl.fold (fun c l acc -> (c, List.rev !l) :: acc) tbl []
+  |> List.sort compare
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "arcs %d\n" (Array.length t.colors));
+  Arc.iter t.graph (fun a ->
+      if t.colors.(a) >= 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %d\n" (Arc.tail t.graph a) (Arc.head t.graph a)
+             t.colors.(a)));
+  Buffer.contents buf
+
+let of_string g text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  let fail line msg = failwith (Printf.sprintf "Schedule.of_string: line %d: %s" line msg) in
+  match lines with
+  | [] -> failwith "Schedule.of_string: empty input"
+  | (ln, header) :: rest ->
+      (match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+      | [ "arcs"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c = Arc.count g -> ()
+          | Some _ -> fail ln "arc count does not match the graph"
+          | None -> fail ln "bad arc count")
+      | _ -> fail ln "expected 'arcs <count>'");
+      let sched = make g in
+      List.iter
+        (fun (line, s) ->
+          match
+            String.split_on_char ' ' s |> List.filter (( <> ) "") |> List.map int_of_string_opt
+          with
+          | [ Some u; Some v; Some c ] ->
+              if c < 0 then fail line "negative slot";
+              if not (Graph.mem_edge g u v) then fail line "not a link of the graph";
+              let a = Arc.make g u v in
+              if is_colored sched a then fail line "duplicate arc";
+              set sched a c
+          | _ -> fail line "expected '<tail> <head> <slot>'")
+        rest;
+      sched
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let read_file g path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string g (really_input_string ic (in_channel_length ic)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule: %d slots over %d arcs@," (num_slots t)
+    (Array.length t.colors);
+  List.iter
+    (fun (c, arcs) ->
+      Format.fprintf ppf "  slot %2d:" c;
+      List.iter (fun a -> Format.fprintf ppf " %a" (Arc.pp t.graph) a) arcs;
+      Format.fprintf ppf "@,")
+    (slot_arcs t);
+  Format.fprintf ppf "@]"

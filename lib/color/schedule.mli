@@ -1,0 +1,84 @@
+(** TDMA link schedules: a slot (color) per arc, plus the ground-truth
+    validator used to check every algorithm in this repository.
+
+    Colors are non-negative ints; [uncolored] marks unassigned arcs.
+    The number of time slots of a complete schedule is the number of
+    distinct colors used (slots need not be contiguous while an
+    algorithm is running; {!normalize} compacts them). *)
+
+open Fdlsp_graph
+
+type t
+
+val uncolored : int
+(** The sentinel color (-1). *)
+
+val make : Graph.t -> t
+(** All arcs uncolored. *)
+
+val graph : t -> Graph.t
+val copy : t -> t
+
+val get : t -> Arc.id -> int
+val set : t -> Arc.id -> int -> unit
+(** Raises [Invalid_argument] on a negative color. *)
+
+val unset : t -> Arc.id -> unit
+val is_colored : t -> Arc.id -> bool
+val is_complete : t -> bool
+
+val num_slots : t -> int
+(** Number of distinct colors assigned to at least one arc. *)
+
+val max_color : t -> int
+(** Largest color used, or -1 if none. *)
+
+val colors : t -> int array
+(** A copy of the raw color array, indexed by arc id. *)
+
+val of_colors : Graph.t -> int array -> t
+(** Wraps an arc-indexed color array (validated for length and
+    [>= -1] entries). *)
+
+type violation =
+  | Uncolored of Arc.id
+  | Clash of Arc.id * Arc.id  (** two conflicting arcs sharing a color *)
+
+val pp_violation : Graph.t -> Format.formatter -> violation -> unit
+
+val validate : t -> (unit, violation) result
+(** Full feasibility check against {!Conflict.conflict}, re-deriving all
+    conflicts from the graph — independent of whatever structure the
+    scheduling algorithm used. *)
+
+val valid : t -> bool
+
+val valid_partial : t -> bool
+(** Like {!valid} but uncolored arcs are allowed; checks only that no
+    two colored conflicting arcs clash. *)
+
+val normalize : t -> t
+(** Renames colors to the dense range [0 .. num_slots - 1], preserving
+    relative order of first use. *)
+
+val slot_arcs : t -> (int * Arc.id list) list
+(** Arcs grouped by slot, ascending slot order. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Text exchange format}
+
+    Line 1: [arcs <2m>]; then one line per colored arc:
+    [<tail> <head> <slot>].  Comments ([#]) and blank lines are
+    ignored.  The graph itself travels separately (see
+    {!Fdlsp_graph.Io}); [of_string] re-derives arc ids from endpoint
+    pairs. *)
+
+val to_string : t -> string
+
+val of_string : Fdlsp_graph.Graph.t -> string -> t
+(** Raises [Failure] with a line-numbered message on malformed input,
+    unknown links, or duplicate arcs. *)
+
+val write_file : string -> t -> unit
+val read_file : Fdlsp_graph.Graph.t -> string -> t

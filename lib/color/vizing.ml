@@ -1,0 +1,192 @@
+open Fdlsp_graph
+
+type stats = {
+  fans : int;
+  inversions : int;
+  total_path_length : int;
+  longest_path : int;
+}
+
+(* State: [col.(e)] is the color of edge [e] or -1; [at.(v).(c)] the edge
+   of color [c] incident on [v], or -1.  Colors range over [0 .. delta],
+   i.e. delta+1 colors, so every node always has a free color. *)
+type state = {
+  g : Graph.t;
+  delta : int;
+  col : int array;
+  at : int array array;
+  mutable st_fans : int;
+  mutable st_inv : int;
+  mutable st_len : int;
+  mutable st_longest : int;
+}
+
+let other_endpoint s e v =
+  let u, w = Graph.edge_endpoints s.g e in
+  if v = u then w else u
+
+let set_color s e c =
+  let u, v = Graph.edge_endpoints s.g e in
+  s.col.(e) <- c;
+  s.at.(u).(c) <- e;
+  s.at.(v).(c) <- e
+
+let unset_color s e =
+  let c = s.col.(e) in
+  if c >= 0 then begin
+    let u, v = Graph.edge_endpoints s.g e in
+    s.col.(e) <- -1;
+    s.at.(u).(c) <- -1;
+    s.at.(v).(c) <- -1
+  end
+
+let is_free s v c = s.at.(v).(c) < 0
+
+let free_color s v =
+  let rec scan c = if is_free s v c then c else scan (c + 1) in
+  scan 0
+
+(* Maximal fan of [u] starting at [f0]: nodes [f0; f1; ...] where edge
+   (u, f_{i+1}) is colored with a color free at f_i.  Returns the fan in
+   order. *)
+let build_fan s u f0 =
+  s.st_fans <- s.st_fans + 1;
+  let in_fan = Hashtbl.create 8 in
+  Hashtbl.replace in_fan f0 ();
+  let rec grow acc last =
+    let next =
+      Graph.fold_neighbors s.g u
+        (fun found w ->
+          match found with
+          | Some _ -> found
+          | None ->
+              let e = Option.get (Graph.edge_index s.g u w) in
+              if (not (Hashtbl.mem in_fan w)) && s.col.(e) >= 0 && is_free s last s.col.(e)
+              then Some w
+              else None)
+        None
+    in
+    match next with
+    | None -> List.rev acc
+    | Some w ->
+        Hashtbl.replace in_fan w ();
+        grow (w :: acc) w
+  in
+  grow [ f0 ] f0
+
+(* Invert the maximal path starting at [u] whose edges are alternately
+   colored [d], [c], [d], ...  After inversion [d] is free at [u]. *)
+let invert_cd_path s u c d =
+  if c <> d then begin
+    (* collect the path *)
+    let limit = Graph.m s.g + 1 in
+    let rec walk x expect acc steps =
+      if steps > limit then failwith "Vizing: cd-path is not simple";
+      let e = s.at.(x).(expect) in
+      if e < 0 then List.rev acc
+      else walk (other_endpoint s e x) (if expect = d then c else d) (e :: acc) (steps + 1)
+    in
+    let path = walk u d [] 0 in
+    if path <> [] then begin
+      s.st_inv <- s.st_inv + 1;
+      let len = List.length path in
+      s.st_len <- s.st_len + len;
+      if len > s.st_longest then s.st_longest <- len;
+      let flipped = List.map (fun e -> (e, if s.col.(e) = c then d else c)) path in
+      List.iter (fun (e, _) -> unset_color s e) flipped;
+      List.iter (fun (e, c') -> set_color s e c') flipped
+    end
+  end
+
+(* Is [f0 .. fi] (a prefix of the fan) still a valid fan of u? *)
+let prefix_is_fan s u fan i =
+  let arr = Array.of_list fan in
+  let ok = ref true in
+  for j = 1 to i do
+    let e = Option.get (Graph.edge_index s.g u arr.(j)) in
+    if s.col.(e) < 0 || not (is_free s arr.(j - 1) s.col.(e)) then ok := false
+  done;
+  !ok
+
+let rotate_prefix s u fan i d =
+  let arr = Array.of_list fan in
+  let shifted = Array.init i (fun j -> s.col.(Option.get (Graph.edge_index s.g u arr.(j + 1)))) in
+  for j = 1 to i do
+    unset_color s (Option.get (Graph.edge_index s.g u arr.(j)))
+  done;
+  (* (u, f0) may be uncolored already on the first call *)
+  unset_color s (Option.get (Graph.edge_index s.g u arr.(0)));
+  for j = 0 to i - 1 do
+    set_color s (Option.get (Graph.edge_index s.g u arr.(j))) shifted.(j)
+  done;
+  set_color s (Option.get (Graph.edge_index s.g u arr.(i))) d
+
+let color_edge s u v =
+  let fan = build_fan s u v in
+  let last = List.nth fan (List.length fan - 1) in
+  let c = free_color s u in
+  let d = free_color s last in
+  invert_cd_path s u c d;
+  (* find the smallest prefix end where d is free and the prefix is
+     still a fan (the inversion may have recolored fan edges) *)
+  let k = List.length fan in
+  let rec find i =
+    if i >= k then None
+    else
+      let fi = List.nth fan i in
+      if is_free s fi d && prefix_is_fan s u fan i then Some i else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> rotate_prefix s u fan i d
+  | None ->
+      (* Theory (Misra & Gries 1992) guarantees a rotation point exists;
+         d became free at u after the inversion, so as a last resort the
+         longest still-valid prefix can take it.  Re-deriving the fan
+         from scratch restores the invariant. *)
+      let fan' = build_fan s u v in
+      let last' = List.nth fan' (List.length fan' - 1) in
+      let d' = free_color s last' in
+      invert_cd_path s u (free_color s u) d';
+      let k' = List.length fan' in
+      let rec find' i =
+        if i >= k' then failwith "Vizing.color: no rotation point"
+        else
+          let fi = List.nth fan' i in
+          if is_free s fi d' && prefix_is_fan s u fan' i then i else find' (i + 1)
+      in
+      rotate_prefix s u fan' (find' 0) d'
+
+let color g =
+  let delta = Graph.max_degree g in
+  let s =
+    {
+      g;
+      delta;
+      col = Array.make (Graph.m g) (-1);
+      at = Array.init (Graph.n g) (fun _ -> Array.make (delta + 1) (-1));
+      st_fans = 0;
+      st_inv = 0;
+      st_len = 0;
+      st_longest = 0;
+    }
+  in
+  Graph.iter_edges g (fun e u v -> if s.col.(e) < 0 then color_edge s u v);
+  ( Array.copy s.col,
+    {
+      fans = s.st_fans;
+      inversions = s.st_inv;
+      total_path_length = s.st_len;
+      longest_path = s.st_longest;
+    } )
+
+let is_proper g col =
+  Array.length col = Graph.m g
+  && Array.for_all (fun c -> c >= 0) col
+  &&
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    let seen = Hashtbl.create 8 in
+    Graph.iter_incident_edges g v (fun e _ ->
+        if Hashtbl.mem seen col.(e) then ok := false else Hashtbl.replace seen col.(e) ())
+  done;
+  !ok

@@ -1,0 +1,23 @@
+(** Misra–Gries edge coloring: a proper coloring of the *undirected*
+    edges with at most [Δ + 1] colors, via fan rotations and cd-path
+    inversions.  This is the first phase of the D-MGC baseline [8]; the
+    recorded statistics (fans built, paths inverted and their lengths)
+    feed D-MGC's communication-round cost model. *)
+
+open Fdlsp_graph
+
+type stats = {
+  fans : int;  (** fans constructed (one per edge colored) *)
+  inversions : int;  (** cd-path inversions performed *)
+  total_path_length : int;  (** edges flipped across all inversions *)
+  longest_path : int;
+}
+
+val color : Graph.t -> int array * stats
+(** [color g] returns a proper edge coloring [col] ([col.(e)] in
+    [0 .. Δ]) and the run statistics.  Every adjacent pair of edges gets
+    distinct colors. *)
+
+val is_proper : Graph.t -> int array -> bool
+(** Checker: no two edges sharing an endpoint have equal colors, and
+    every edge is colored. *)

@@ -1,0 +1,31 @@
+(** Broadcast (node) scheduling — the comparator of the paper's
+    introduction.
+
+    A broadcast schedule assigns a slot to every node; a node's
+    transmission reaches all of its neighbors, so two nodes within hop
+    distance 2 may not share a slot (the hidden terminal rule for
+    broadcast).  Link scheduling permits strictly more concurrency
+    (Section 1): this module exists to quantify that claim in the
+    examples and the ablation bench. *)
+
+open Fdlsp_graph
+
+val greedy : Graph.t -> int array
+(** Sequential first-fit distance-2 vertex coloring (slot per node). *)
+
+val distributed : mis:Mis.algo -> Graph.t -> int array * Fdlsp_sim.Stats.t
+(** Distributed broadcast scheduling in the DistMIS style: peel MIS
+    layers, pick a secondary MIS among layer members within 2 hops
+    (winners are then >= 3 hops apart, so their simultaneous
+    self-coloring decisions cannot clash), gather 2-hop slot knowledge
+    in two rounds and first-fit.  Same communication accounting as
+    {!Dist_mis}. *)
+
+val num_slots : int array -> int
+
+val is_valid : Graph.t -> int array -> bool
+(** No two distinct nodes within hop distance <= 2 share a slot, and
+    every node has a slot. *)
+
+val frame_length : Graph.t -> int
+(** [num_slots (greedy g)]. *)

@@ -1,0 +1,114 @@
+open Fdlsp_graph
+open Fdlsp_sim
+
+let is_cycle g =
+  Graph.n g >= 3
+  && Traversal.is_connected g
+  &&
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v <> 2 then ok := false
+  done;
+  !ok
+
+(* Ring orientation: walk the cycle once from node 0. *)
+let successors g =
+  let n = Graph.n g in
+  let succ = Array.make n (-1) in
+  let first =
+    match Graph.neighbors g 0 with
+    | [| a; _ |] -> a
+    | _ -> invalid_arg "Cole_vishkin: not a cycle"
+  in
+  let rec walk prev v =
+    if succ.(v) < 0 then begin
+      let next =
+        Graph.fold_neighbors g v (fun acc w -> if w <> prev then w else acc) prev
+      in
+      succ.(v) <- next;
+      walk v next
+    end
+  in
+  succ.(0) <- first;
+  walk 0 first;
+  succ
+
+let bits x =
+  let rec go k v = if v = 0 then max k 1 else go (k + 1) (v lsr 1) in
+  go 0 x
+
+(* Iterations until id-width colors fit in {0..5}: widths shrink
+   L -> 1 + ceil(log2 L) per step (log* behaviour), plus one squeezing
+   step once the width has stabilized at 3 bits. *)
+let reduction_rounds n =
+  let rec go k l = if l <= 3 then k + (if n > 6 then 1 else 0) else go (k + 1) (1 + bits (l - 1)) in
+  go 0 (bits (max 1 (n - 1)))
+
+(* One Cole-Vishkin step: the smallest bit position where my color
+   differs from my successor's, encoded together with my bit's value. *)
+let cv_step my succ_color =
+  let diff = my lxor succ_color in
+  let rec lowest i d = if d land 1 = 1 then i else lowest (i + 1) (d lsr 1) in
+  let i = lowest 0 diff in
+  (2 * i) + ((my lsr i) land 1)
+
+type phase = Cv_update | Shift | Recolor of int
+
+type node = { mutable color : int; succ : int; pred : int }
+
+let three_color g =
+  if not (is_cycle g) then invalid_arg "Cole_vishkin.three_color: not a cycle";
+  let n = Graph.n g in
+  let succ = successors g in
+  let pred = Array.make n (-1) in
+  Array.iteri (fun v s -> pred.(s) <- v) succ;
+  let k = reduction_rounds n in
+  (* after the initial send: k CV updates, then shift/recolor pairs
+     eliminating colors 5, 4, 3 *)
+  let timeline =
+    Array.of_list
+      (List.init k (fun _ -> Cv_update)
+      @ List.concat_map (fun t -> [ Shift; Recolor t ]) [ 5; 4; 3 ])
+  in
+  let init v = ({ color = v; succ = succ.(v); pred = pred.(v) }, true) in
+  let step ~round _v st inbox =
+    let from w = List.assoc_opt w inbox in
+    if round = 1 then (st, Sync.Continue [ (st.pred, st.color) ])
+    else begin
+      let last = round - 1 = Array.length timeline in
+      match timeline.(round - 2) with
+      | Cv_update ->
+          st.color <- cv_step st.color (Option.get (from st.succ));
+          (st, Sync.Continue [ (st.pred, st.color) ])
+      | Shift ->
+          st.color <- Option.get (from st.succ);
+          (st, Sync.Continue [ (st.pred, st.color); (st.succ, st.color) ])
+      | Recolor t ->
+          if st.color = t then begin
+            let a = Option.get (from st.succ) and b = Option.get (from st.pred) in
+            let rec pick c = if c = a || c = b then pick (c + 1) else c in
+            st.color <- pick 0
+          end;
+          if last then (st, Sync.Halt []) else (st, Sync.Continue [ (st.pred, st.color) ])
+    end
+  in
+  let states, stats = Sync.run g ~init ~step in
+  (Array.map (fun st -> st.color) states, stats)
+
+let ring_mis g =
+  let colors, cv_stats = three_color g in
+  (* color class [round - 1] decides in round [round]; winners announce
+     to both neighbors, so later classes know they are dominated *)
+  let init v = ((colors.(v), false, false), true) in
+  let step ~round v (color, in_mis, dominated) inbox =
+    let dominated = dominated || List.exists (fun (_, joined) -> joined) inbox in
+    if color = round - 1 then
+      let joins = not dominated in
+      let out =
+        if joins then Graph.fold_neighbors g v (fun acc w -> (w, true) :: acc) [] else []
+      in
+      ((color, joins, dominated), Sync.Halt out)
+    else ((color, in_mis, dominated), Sync.Continue [])
+  in
+  let states, stats = Sync.run g ~init ~step in
+  (Array.map (fun (_, m, _) -> m) states, Stats.add cv_stats stats)

@@ -1,0 +1,35 @@
+(** Cole–Vishkin deterministic coin tossing on rings.
+
+    The paper's round bounds for DistMIS rest on [O(log* n)] symmetry
+    breaking (Schneider–Wattenhofer on growth-bounded graphs).  This
+    module implements the classical machinery behind all such results on
+    the cleanest substrate — an oriented ring: iterated bit-trick color
+    reduction from [O(log n)]-bit ids down to 8 colors in [O(log* n)]
+    synchronous rounds, then shift-and-recolor rounds down to a proper
+    3-coloring, and an MIS extracted from the 3-coloring in three more
+    rounds.  Every step is a genuine message-passing program on the
+    synchronous engine.
+
+    The ring orientation (every node knowing its successor) is the
+    standard assumption for Cole–Vishkin; we derive it once from the
+    cycle structure. *)
+
+open Fdlsp_graph
+open Fdlsp_sim
+
+val is_cycle : Graph.t -> bool
+(** Connected and 2-regular. *)
+
+val three_color : Graph.t -> int array * Stats.t
+(** Proper 3-coloring of a cycle ([colors.(v)] in [{0,1,2}]).  Raises
+    [Invalid_argument] if the graph is not a cycle with at least 3
+    nodes. *)
+
+val ring_mis : Graph.t -> bool array * Stats.t
+(** MIS of a cycle via {!three_color}: color classes join in turn
+    (three extra synchronous phases). *)
+
+val reduction_rounds : int -> int
+(** Number of Cole–Vishkin iterations used for [n] nodes — the log*-ish
+    schedule all nodes precompute; exposed for the tests that verify
+    the round count actually grows like log*. *)

@@ -1,0 +1,147 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+(* Try to move arc [a] to some color in [palette] (excluding its own),
+   respecting all conflicts in [sched].  Returns true on success. *)
+let rehome g sched palette a =
+  let current = Schedule.get sched a in
+  let forbidden = Hashtbl.create 16 in
+  Conflict.iter_conflicting g a (fun b ->
+      let c = Schedule.get sched b in
+      if c >= 0 then Hashtbl.replace forbidden c ());
+  let target =
+    List.find_opt (fun c -> c <> current && not (Hashtbl.mem forbidden c)) palette
+  in
+  match target with
+  | Some c ->
+      Schedule.set sched a c;
+      true
+  | None -> false
+
+(* Attempt to dissolve one slot entirely; rolls back on failure. *)
+let dissolve g sched victim arcs palette =
+  let rest = List.filter (fun c -> c <> victim) palette in
+  let snapshot = Schedule.copy sched in
+  let ok = List.for_all (fun a -> rehome g sched rest a) arcs in
+  if not ok then Arc.iter g (fun a -> Schedule.set sched a (Schedule.get snapshot a));
+  ok
+
+let compact input =
+  if not (Schedule.valid input) then invalid_arg "Compact.compact: invalid schedule";
+  let g = Schedule.graph input in
+  let sched = Schedule.copy input in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let classes = Schedule.slot_arcs sched in
+    if List.length classes > 1 then begin
+      let palette = List.map fst classes in
+      (* smallest classes are the easiest to dissolve; stop at the
+         first success and rescan *)
+      let ordered =
+        List.sort (fun (_, a) (_, b) -> compare (List.length a) (List.length b)) classes
+      in
+      improved :=
+        List.exists (fun (victim, arcs) -> dissolve g sched victim arcs palette) ordered
+    end
+  done;
+  assert (Schedule.valid sched);
+  sched
+
+(* The Kempe component of arc [a] for slot pair (c1, c2): the connected
+   set of arcs colored c1 or c2 reachable from [a] through conflict
+   edges.  Swapping c1 and c2 inside a component preserves validity:
+   any outside arc of either color conflicting with the component would
+   itself belong to it. *)
+let kempe_component g sched a c1 c2 =
+  let seen = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Hashtbl.replace seen a ();
+  Queue.add a q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    Conflict.iter_conflicting g x (fun b ->
+        let cb = Schedule.get sched b in
+        if (cb = c1 || cb = c2) && not (Hashtbl.mem seen b) then begin
+          Hashtbl.replace seen b ();
+          Queue.add b q
+        end)
+  done;
+  seen
+
+let swap_component sched component c1 c2 =
+  Hashtbl.iter
+    (fun b () ->
+      let cb = Schedule.get sched b in
+      Schedule.set sched b (if cb = c1 then c2 else c1))
+    component
+
+(* A Kempe swap of (victim, c2) around arc [a] moves every
+   victim-colored arc of the component to [c2] and vice versa, so the
+   victim class shrinks iff the component holds strictly more victim
+   arcs than [c2] arcs.  [kempe_shrink] performs one such strictly
+   shrinking swap if any exists. *)
+let kempe_shrink g sched palette victim =
+  let victims =
+    List.filter (fun a -> Schedule.get sched a = victim)
+      (List.init (Arc.count g) Fun.id)
+  in
+  let try_pair a c2 =
+    c2 <> victim
+    &&
+    let component = kempe_component g sched a victim c2 in
+    let leave = ref 0 and enter = ref 0 in
+    Hashtbl.iter
+      (fun b () -> if Schedule.get sched b = victim then incr leave else incr enter)
+      component;
+    if !leave > !enter then begin
+      swap_component sched component victim c2;
+      true
+    end
+    else false
+  in
+  List.exists (fun a -> List.exists (try_pair a) palette) victims
+
+let dissolve_kempe g sched victim palette =
+  let rest = List.filter (fun c -> c <> victim) palette in
+  let snapshot = Schedule.copy sched in
+  (* Each step empties the victim class a little: a direct rehome moves
+     one arc out, a shrinking Kempe swap lowers the class size by at
+     least one.  |victim class| strictly decreases, so this
+     terminates. *)
+  let rec drain () =
+    let stragglers =
+      List.filter (fun a -> Schedule.get sched a = victim)
+        (List.init (Arc.count g) Fun.id)
+    in
+    match stragglers with
+    | [] -> true
+    | arcs ->
+        let direct = List.exists (fun a -> rehome g sched rest a) arcs in
+        if direct || kempe_shrink g sched rest victim then drain () else false
+  in
+  let ok = drain () in
+  if not ok then Arc.iter g (fun a -> Schedule.set sched a (Schedule.get snapshot a));
+  ok
+
+let kempe input =
+  if not (Schedule.valid input) then invalid_arg "Compact.kempe: invalid schedule";
+  let g = Schedule.graph input in
+  let sched = Schedule.copy input in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let classes = Schedule.slot_arcs sched in
+    if List.length classes > 1 then begin
+      let palette = List.map fst classes in
+      let ordered =
+        List.sort (fun (_, a) (_, b) -> compare (List.length a) (List.length b)) classes
+      in
+      improved :=
+        List.exists (fun (victim, _) -> dissolve_kempe g sched victim palette) ordered
+    end
+  done;
+  assert (Schedule.valid sched);
+  sched
+
+let saved ~before ~after = Schedule.num_slots before - Schedule.num_slots after

@@ -1,0 +1,27 @@
+(** Schedule post-optimization: shrink a valid schedule by dissolving
+    sparsely-used slots.
+
+    The distributed algorithms are greedy and online; a cheap
+    centralized afterpass often recovers a few slots.  [compact]
+    repeatedly picks the slot with the fewest arcs and tries to re-home
+    each of its arcs into another existing slot (first fit over the
+    remaining palette); a slot disappears only when every one of its
+    arcs finds a home, so the result is never worse and stays valid.
+    This is the classic "iterated greedy" color reduction. *)
+
+open Fdlsp_color
+
+val compact : Schedule.t -> Schedule.t
+(** Input must be complete and valid (raises [Invalid_argument]
+    otherwise).  Runs to fixpoint. *)
+
+val kempe : Schedule.t -> Schedule.t
+(** Like {!compact}, but arcs that cannot move directly may drag a
+    Kempe chain along: the connected component of two-slot arcs (under
+    the conflict relation) containing the arc swaps its two slots —
+    always validity-preserving — whenever that frees the arc from the
+    slot being dissolved without pulling other arcs into it.  At least
+    as good as plain {!compact} in slots, at higher cost. *)
+
+val saved : before:Schedule.t -> after:Schedule.t -> int
+(** Slot-count difference, for reporting. *)

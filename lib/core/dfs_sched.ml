@@ -1,0 +1,208 @@
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+let src = Logs.Src.create "fdlsp.dfs" ~doc:"DFS scheduler (Algorithm 2)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type next_policy = Max_degree | Min_id
+
+type result = { schedule : Schedule.t; stats : Stats.t; token_moves : int }
+
+type msg =
+  | Token
+  | Return  (** token handed back to the parent *)
+  | Query
+  | Reply of (Arc.id * int) array
+  | Announce of (Arc.id * int) array
+  | Forwarded of (Arc.id * int) array  (** one-hop relay of an announce *)
+  | Ack  (** announce received; the colorer may move the token on *)
+
+type node = {
+  mutable parent : int;  (* -1 = not yet visited; self = root *)
+  mutable visited_nbrs : int list;
+  mutable pending_replies : int;
+  mutable pending_acks : int;
+  known : (Arc.id, int) Hashtbl.t;
+      (* long-term store: only arcs incident to this node's 1-hop halo,
+         which is everything it ever needs to answer queries *)
+  gather : (Arc.id, int) Hashtbl.t;
+      (* visit-time distance-2 table assembled from the replies *)
+  mutable assigned : (Arc.id * int) list;
+  mutable moves : int;
+}
+
+(* Is the arc incident to [v] or to a neighbor of [v]?  Nodes prune
+   everything else from their stored tables: a reply to neighbor [w]
+   only ever needs arcs incident to [N(v) + v], and those cover [w]'s
+   distance-2 requirements once all of [w]'s neighbors reply. *)
+let relevant g v a =
+  let t = Arc.tail g a and h = Arc.head g a in
+  t = v || h = v || Graph.mem_edge g t v || Graph.mem_edge g h v
+
+let merge known table = Array.iter (fun (a, c) -> Hashtbl.replace known a c) table
+
+let merge_relevant g v known table =
+  Array.iter (fun (a, c) -> if relevant g v a then Hashtbl.replace known a c) table
+
+let mark_visited st w = if not (List.mem w st.visited_nbrs) then st.visited_nbrs <- w :: st.visited_nbrs
+
+(* Greedy first-fit for the token holder's uncolored incident arcs,
+   using only the gathered distance-2 knowledge. *)
+let color_own g st v =
+  let fresh = ref [] in
+  Arc.iter_incident g v (fun a ->
+      if not (Hashtbl.mem st.gather a) then begin
+        let forbidden = Hashtbl.create 16 in
+        Conflict.iter_conflicting g a (fun b ->
+            match Hashtbl.find_opt st.gather b with
+            | Some c -> Hashtbl.replace forbidden c ()
+            | None -> ());
+        let rec first c = if Hashtbl.mem forbidden c then first (c + 1) else c in
+        let c = first 0 in
+        Hashtbl.replace st.gather a c;
+        Hashtbl.replace st.known a c;
+        fresh := (a, c) :: !fresh
+      end);
+  st.assigned <- !fresh @ st.assigned;
+  List.rev !fresh
+
+let pass_token g policy ctx st =
+  let v = Async.self ctx in
+  let candidates =
+    Graph.fold_neighbors g v
+      (fun acc w -> if List.mem w st.visited_nbrs then acc else w :: acc)
+      []
+  in
+  match candidates with
+  | [] -> if st.parent <> v then Async.send ctx st.parent Return
+  | _ ->
+      let better a b =
+        match policy with
+        | Max_degree ->
+            Graph.degree g a > Graph.degree g b
+            || (Graph.degree g a = Graph.degree g b && a < b)
+        | Min_id -> a < b
+      in
+      let next = List.fold_left (fun best w -> if better w best then w else best)
+          (List.hd candidates) (List.tl candidates)
+      in
+      mark_visited st next;
+      st.moves <- st.moves + 1;
+      Async.send ctx next Token
+
+let start_visit ctx st parent =
+  let v = Async.self ctx in
+  st.parent <- parent;
+  if parent <> v then mark_visited st parent;
+  Hashtbl.reset st.gather;
+  Hashtbl.iter (fun a c -> Hashtbl.replace st.gather a c) st.known;
+  let nbrs = Async.neighbors ctx in
+  st.pending_replies <- Array.length nbrs;
+  if st.pending_replies = 0 then ()
+  else Array.iter (fun w -> Async.send ctx w Query) nbrs
+
+let finish_coloring g policy ctx st =
+  let v = Async.self ctx in
+  let fresh = color_own g st v in
+  let nbrs = Async.neighbors ctx in
+  if Array.length nbrs = 0 then ()
+  else begin
+    st.pending_acks <- Array.length nbrs;
+    let payload = Array.of_list fresh in
+    Array.iter (fun w -> Async.send ctx w (Announce payload)) nbrs
+  end;
+  if st.pending_acks = 0 then pass_token g policy ctx st
+
+let handler g policy ctx st ~sender msg =
+  (match msg with
+  | Token ->
+      if st.parent >= 0 then
+        (* a visited node never receives a fresh token: senders only pick
+           unvisited neighbors, so treat it as a return *)
+        pass_token g policy ctx st
+      else start_visit ctx st sender
+  | Return ->
+      mark_visited st sender;
+      pass_token g policy ctx st
+  | Query ->
+      mark_visited st sender;
+      let table = Array.of_seq (Hashtbl.to_seq st.known) in
+      Async.send ctx sender (Reply table)
+  | Reply table ->
+      merge st.gather table;
+      merge_relevant g (Async.self ctx) st.known table;
+      st.pending_replies <- st.pending_replies - 1;
+      if st.pending_replies = 0 then finish_coloring g policy ctx st
+  | Announce table ->
+      mark_visited st sender;
+      merge_relevant g (Async.self ctx) st.known table;
+      Array.iter
+        (fun w -> if w <> sender then Async.send ctx w (Forwarded table))
+        (Async.neighbors ctx);
+      Async.send ctx sender Ack
+  | Forwarded table -> merge_relevant g (Async.self ctx) st.known table
+  | Ack ->
+      st.pending_acks <- st.pending_acks - 1;
+      if st.pending_acks = 0 then pass_token g policy ctx st);
+  st
+
+let default_roots g =
+  let comp, k = Traversal.components g in
+  let roots = Array.make k (-1) in
+  for v = Graph.n g - 1 downto 0 do
+    let c = comp.(v) in
+    if roots.(c) < 0 || Graph.degree g v >= Graph.degree g roots.(c) then roots.(c) <- v
+  done;
+  Array.to_list roots
+
+let run ?(policy = Max_degree) ?(delay = Async.Unit) ?roots g =
+  let roots = match roots with Some r -> r | None -> default_roots g in
+  let init _ =
+    {
+      parent = -1;
+      visited_nbrs = [];
+      pending_replies = 0;
+      pending_acks = 0;
+      known = Hashtbl.create 32;
+      gather = Hashtbl.create 32;
+      assigned = [];
+      moves = 0;
+    }
+  in
+  let starts =
+    List.map
+      (fun r ->
+        ( r,
+          fun ctx st ->
+            start_visit ctx st r;
+            (* isolated root: nothing to query, nothing to color *)
+            if Array.length (Async.neighbors ctx) = 0 then st.parent <- r;
+            st ))
+      roots
+  in
+  let weight = function
+    | Reply t | Announce t | Forwarded t -> Array.length t
+    | Token | Return | Query | Ack -> 1
+  in
+  let states, stats =
+    Async.run ~delay ~weight g ~init ~starts ~handler:(handler g policy)
+  in
+  let sched = Schedule.make g in
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun (a, c) ->
+          if Schedule.is_colored sched a then
+            invalid_arg "Dfs_sched.run: arc colored by two nodes";
+          Schedule.set sched a c)
+        st.assigned)
+    states;
+  if not (Schedule.is_complete sched) then
+    invalid_arg "Dfs_sched.run: incomplete schedule (missing component root?)";
+  let token_moves = Array.fold_left (fun acc st -> acc + st.moves) 0 states in
+  Log.debug (fun m ->
+      m "%d token moves, %d slots, %d async time units" token_moves
+        (Schedule.num_slots sched) stats.Stats.rounds);
+  { schedule = sched; stats; token_moves }

@@ -1,0 +1,194 @@
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+let src = Logs.Src.create "fdlsp.dist_mis" ~doc:"DistMIS (Algorithm 1)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type variant = Gbg | General
+
+type result = {
+  schedule : Schedule.t;
+  stats : Stats.t;
+  outer_iters : int;
+  inner_iters : int;
+}
+
+let hop_distance = function Gbg -> 3 | General -> 2
+
+(* Virtual competition graph of the secondary MIS: nodes are the current
+   [S]-members, joined when within [dist] hops in the communication
+   graph (finished nodes still relay).  Returns the virtual graph and
+   the member array mapping virtual ids to real ids. *)
+let virtual_graph g members ~dist =
+  let member_ids = ref [] in
+  Array.iteri (fun v m -> if m then member_ids := v :: !member_ids) members;
+  let back = Array.of_list (List.sort compare !member_ids) in
+  let index = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) back;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun w ->
+          if members.(w) then
+            match Hashtbl.find_opt index w with
+            | Some j when i < j -> edges := (i, j) :: !edges
+            | _ -> ())
+        (Traversal.within g v dist))
+    back;
+  (Graph.create ~n:(Array.length back) !edges, back)
+
+(* --- the 3-round gather/color phase ------------------------------- *)
+
+type phase_state = {
+  known : (Arc.id, int) Hashtbl.t; (* gathered color table *)
+  mutable assigned : (Arc.id * int) list; (* this node's new colors *)
+}
+
+
+(* Colors the given arcs greedily against [known], updating [known] as
+   it goes so a node's own simultaneous picks stay consistent. *)
+let greedy_assign g known arcs =
+  List.filter_map
+    (fun a ->
+      if Hashtbl.mem known a then None
+      else begin
+        let forbidden = Hashtbl.create 16 in
+        Conflict.iter_conflicting g a (fun b ->
+            match Hashtbl.find_opt known b with
+            | Some c -> Hashtbl.replace forbidden c ()
+            | None -> ());
+        let rec first c = if Hashtbl.mem forbidden c then first (c + 1) else c in
+        let c = first 0 in
+        Hashtbl.replace known a c;
+        Some (a, c)
+      end)
+    arcs
+
+(* Hop distance (0, 1, 2 or 3=far) to the nearest chosen node, by
+   multi-source BFS.  Non-chosen nodes learn their distance to the
+   nearest secondary-MIS winner for free during the competition relay,
+   so scoping the gather to the 2-hop halo of the winners is local
+   knowledge, not an oracle. *)
+let halo g chosen =
+  let dist = Array.make (Graph.n g) 3 in
+  let q = Queue.create () in
+  Array.iteri
+    (fun v c ->
+      if c then begin
+        dist.(v) <- 0;
+        Queue.add v q
+      end)
+    chosen;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    if dist.(v) < 2 then
+      Graph.iter_neighbors g v (fun w ->
+          if dist.(w) = 3 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w q
+          end)
+  done;
+  dist
+
+let color_phase g sched ~chosen ~outgoing_only =
+  let dist = halo g chosen in
+  let own_table v =
+    let out = ref [] in
+    Arc.iter_incident g v (fun a ->
+        let c = Schedule.get sched a in
+        if c >= 0 then out := (a, c) :: !out);
+    Array.of_list !out
+  in
+  let init v =
+    let known = Hashtbl.create 32 in
+    if dist.(v) <= 1 then
+      Array.iter (fun (a, c) -> Hashtbl.replace known a c) (own_table v);
+    ({ known; assigned = [] }, dist.(v) <= 2)
+  in
+  let send_to g v payload ~keep =
+    Graph.fold_neighbors g v (fun acc w -> if keep w then (w, payload) :: acc else acc) []
+  in
+  let merge state inbox =
+    List.iter
+      (fun (_, table) -> Array.iter (fun (a, c) -> Hashtbl.replace state.known a c) table)
+      inbox
+  in
+  let snapshot state = Array.of_seq (Hashtbl.to_seq state.known) in
+  let step ~round v state inbox =
+    match round with
+    | 1 ->
+        (* halo nodes push their tables toward the winners' neighbors *)
+        (state, Sync.Continue (send_to g v (own_table v) ~keep:(fun w -> dist.(w) <= 1)))
+    | 2 ->
+        merge state inbox;
+        (state, Sync.Continue (send_to g v (snapshot state) ~keep:(fun w -> chosen.(w))))
+    | _ ->
+        merge state inbox;
+        if chosen.(v) then begin
+          let targets = ref [] in
+          if outgoing_only then Arc.iter_out g v (fun a -> targets := a :: !targets)
+          else Arc.iter_incident g v (fun a -> targets := a :: !targets);
+          state.assigned <- greedy_assign g state.known (List.rev !targets);
+          (* the announce broadcast of the assignment *)
+          ( state,
+            Sync.Halt (send_to g v (Array.of_list state.assigned) ~keep:(fun _ -> true)) )
+        end
+        else (state, Sync.Halt [])
+  in
+  let states, stats = Sync.run ~weight:Array.length g ~init ~step in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun (a, c) ->
+          if Schedule.is_colored sched a then
+            invalid_arg "Dist_mis: simultaneous recoloring detected";
+          Schedule.set sched a c)
+        s.assigned)
+    states;
+  stats
+
+(* --- the full algorithm ------------------------------------------- *)
+
+let run ~mis ~variant g =
+  let n = Graph.n g in
+  let dist = hop_distance variant in
+  let outgoing_only = variant = General in
+  let sched = Schedule.make g in
+  let stats = ref Stats.zero in
+  let outer = ref 0 and inner = ref 0 in
+  let active = Array.make n true in
+  let any arr = Array.exists Fun.id arr in
+  while any active do
+    incr outer;
+    let s, mis_stats = Mis.compute ~algo:mis g ~active in
+    Log.debug (fun m ->
+        m "outer %d: |S| = %d (%d rounds)" !outer
+          (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s)
+          mis_stats.Stats.rounds);
+    stats := Stats.add !stats mis_stats;
+    let remaining = Array.copy s in
+    while any remaining do
+      incr inner;
+      let vg, back = virtual_graph g remaining ~dist in
+      let vactive = Array.make (Graph.n vg) true in
+      let s_virtual, sec_stats = Mis.compute ~algo:mis vg ~active:vactive in
+      stats := Stats.add !stats (Stats.scale_rounds dist sec_stats);
+      let chosen = Array.make n false in
+      Array.iteri (fun i v -> if s_virtual.(i) then chosen.(v) <- true) back;
+      let phase_stats = color_phase g sched ~chosen ~outgoing_only in
+      Log.debug (fun m ->
+          m "inner %d: %d winners colored" !inner
+            (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 chosen));
+      stats := Stats.add !stats phase_stats;
+      Array.iteri (fun v c -> if c then remaining.(v) <- false) chosen
+    done;
+    Array.iteri (fun v in_s -> if in_s then active.(v) <- false) s
+  done;
+  (* Safety net for modelling gaps rather than a code path we expect to
+     take: every arc must be colored once each node has passed through a
+     secondary MIS. *)
+  assert (Schedule.is_complete sched || Graph.m g = 0);
+  { schedule = sched; stats = !stats; outer_iters = !outer; inner_iters = !inner }

@@ -1,0 +1,42 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+type t = {
+  frequency : int array;
+  slot : int array;
+  channels : int;
+  frame_length : int;
+}
+
+let split sched ~channels =
+  if channels < 1 then invalid_arg "Frequency.split: need at least one channel";
+  if not (Schedule.valid sched) then invalid_arg "Frequency.split: invalid schedule";
+  let sched = Schedule.normalize sched in
+  let colors = Schedule.colors sched in
+  let k = Schedule.num_slots sched in
+  let frame_length = (k + channels - 1) / channels in
+  {
+    frequency = Array.map (fun c -> c mod channels) colors;
+    slot = Array.map (fun c -> c / channels) colors;
+    channels;
+    frame_length;
+  }
+
+let is_valid g t =
+  Array.length t.frequency = Arc.count g
+  && Array.length t.slot = Arc.count g
+  &&
+  let ok = ref true in
+  Arc.iter g (fun a ->
+      if t.frequency.(a) < 0 || t.frequency.(a) >= t.channels then ok := false;
+      if t.slot.(a) < 0 || t.slot.(a) >= t.frame_length then ok := false;
+      Conflict.iter_conflicting g a (fun b ->
+          if b > a && t.frequency.(a) = t.frequency.(b) && t.slot.(a) = t.slot.(b) then
+            ok := false));
+  !ok
+
+let merge g t =
+  let colors =
+    Array.init (Arc.count g) (fun a -> (t.slot.(a) * t.channels) + t.frequency.(a))
+  in
+  Schedule.of_colors g colors

@@ -1,0 +1,29 @@
+(** Frequency-division extension.
+
+    The related work the paper contrasts with ([20], [22]) lets radios
+    use several orthogonal frequencies; a (frequency, time-slot) pair
+    then plays the role of a single-frequency color, dividing the frame
+    length by the number of channels.  [split] maps any valid
+    single-frequency FDLSP schedule onto [f] channels — distinct colors
+    land on distinct (frequency, slot) pairs, so validity carries over
+    verbatim — and quantifies the frame-length saving. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+
+type t = {
+  frequency : int array;  (** per arc, in [0 .. f-1] *)
+  slot : int array;  (** per arc, in [0 .. frame_length-1] *)
+  channels : int;
+  frame_length : int;  (** time slots per frame (= ceil(colors / f)) *)
+}
+
+val split : Schedule.t -> channels:int -> t
+(** Requires a complete valid schedule and [channels >= 1]. *)
+
+val is_valid : Graph.t -> t -> bool
+(** No two conflicting arcs share both frequency and slot. *)
+
+val merge : Graph.t -> t -> Schedule.t
+(** Back to a single-frequency schedule (the inverse of {!split} up to
+    color naming). *)

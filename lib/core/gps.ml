@@ -1,0 +1,178 @@
+open Fdlsp_graph
+open Fdlsp_sim
+
+let active_degree g active v =
+  Graph.fold_neighbors g v (fun acc w -> if active.(w) then acc + 1 else acc) 0
+
+let forests g ~active =
+  let n = Graph.n g in
+  let higher =
+    Array.init n (fun v ->
+        if not active.(v) then [||]
+        else
+          Graph.fold_neighbors g v
+            (fun acc w -> if active.(w) && w > v then w :: acc else acc)
+            []
+          |> List.rev |> Array.of_list)
+  in
+  let count = Array.fold_left (fun acc h -> max acc (Array.length h)) 0 higher in
+  let parent =
+    Array.init count (fun i ->
+        Array.init n (fun v -> if i < Array.length higher.(v) then higher.(v).(i) else -1))
+  in
+  (count, parent)
+
+(* --- the coloring pipeline ----------------------------------------- *)
+
+type phase = Cv | Shift | Recolor of int | Merge of int | Reduce of int
+
+type node = {
+  parents : int array; (* per forest; -1 = root *)
+  mutable cv : int array; (* per-forest colors *)
+  mutable prev : int array; (* pre-shift snapshot *)
+  mutable color : int; (* merged coloring *)
+}
+
+type payload = { p_cv : int array; p_color : int }
+
+let cv_step my other =
+  let diff = my lxor other in
+  let rec lowest i d = if d land 1 = 1 then i else lowest (i + 1) (d lsr 1) in
+  let i = lowest 0 diff in
+  (2 * i) + ((my lsr i) land 1)
+
+(* Timeline: CV iterations, three shift/recolor elimination pairs, then
+   a product-merge per remaining forest each followed by one class
+   dissolution round per color value above delta+1. *)
+let build_timeline ~n_forests ~cv_iters ~delta =
+  let elimination = List.concat_map (fun t -> [ Shift; Recolor t ]) [ 5; 4; 3 ] in
+  let merges = ref [] in
+  let q = ref 3 in
+  let reduce_to_target () =
+    if !q > delta + 1 then begin
+      for c = !q - 1 downto delta + 1 do
+        merges := Reduce c :: !merges
+      done;
+      q := delta + 1
+    end
+  in
+  reduce_to_target ();
+  for i = 1 to n_forests - 1 do
+    merges := Merge i :: !merges;
+    q := 3 * !q;
+    reduce_to_target ()
+  done;
+  List.init cv_iters (fun _ -> Cv) @ elimination @ List.rev !merges
+
+let color g ~active =
+  let n = Graph.n g in
+  let delta =
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      if active.(v) then best := max !best (active_degree g active v)
+    done;
+    !best
+  in
+  let colors = Array.make n (-1) in
+  if delta = 0 then begin
+    (* no active edges: one slot suffices, no communication *)
+    Array.iteri (fun v a -> if a then colors.(v) <- 0) active;
+    (colors, Stats.zero)
+  end
+  else begin
+    let n_forests, parent = forests g ~active in
+    let cv_iters = Cole_vishkin.reduction_rounds n in
+    let timeline = Array.of_list (build_timeline ~n_forests ~cv_iters ~delta) in
+    let init v =
+      ( {
+          parents = Array.init n_forests (fun i -> parent.(i).(v));
+          cv = Array.init n_forests (fun _ -> v);
+          prev = Array.make n_forests 0;
+          color = 0;
+        },
+        active.(v) )
+    in
+    let broadcast g v st =
+      let payload = { p_cv = Array.copy st.cv; p_color = st.color } in
+      Graph.fold_neighbors g v
+        (fun acc w -> if active.(w) then (w, payload) :: acc else acc)
+        []
+    in
+    let step ~round v st inbox =
+      let from w = List.assoc_opt w inbox in
+      let parent_cv i =
+        let p = st.parents.(i) in
+        if p < 0 then None else Some (Option.get (from p)).p_cv.(i)
+      in
+      if round = 1 then (st, Sync.Continue (broadcast g v st))
+      else begin
+        (match timeline.(round - 2) with
+        | Cv ->
+            for i = 0 to n_forests - 1 do
+              let other =
+                match parent_cv i with Some c -> c | None -> st.cv.(i) lxor 1
+              in
+              st.cv.(i) <- cv_step st.cv.(i) other
+            done
+        | Shift ->
+            st.prev <- Array.copy st.cv;
+            for i = 0 to n_forests - 1 do
+              st.cv.(i) <-
+                (match parent_cv i with
+                | Some c -> c
+                | None -> if st.cv.(i) = 0 then 1 else 0)
+            done
+        | Recolor t ->
+            for i = 0 to n_forests - 1 do
+              if st.cv.(i) = t then begin
+                let forbidden_a =
+                  match parent_cv i with Some c -> c | None -> -1
+                in
+                let forbidden_b = st.prev.(i) in
+                let rec pick c =
+                  if c = forbidden_a || c = forbidden_b then pick (c + 1) else c
+                in
+                st.cv.(i) <- pick 0
+              end
+            done;
+            (* entering the merge phase, the accumulated coloring starts
+               as forest 0's colors *)
+            if t = 3 then st.color <- st.cv.(0)
+        | Merge i -> st.color <- (3 * st.color) + st.cv.(i)
+        | Reduce c ->
+            if st.color = c then begin
+              let forbidden = Hashtbl.create 8 in
+              List.iter (fun (_, p) -> Hashtbl.replace forbidden p.p_color ()) inbox;
+              let rec pick x = if Hashtbl.mem forbidden x then pick (x + 1) else x in
+              st.color <- pick 0
+            end);
+        let last = round - 1 = Array.length timeline in
+        if last then (st, Sync.Halt []) else (st, Sync.Continue (broadcast g v st))
+      end
+    in
+    let weight p = Array.length p.p_cv + 1 in
+    let states, stats = Sync.run ~weight g ~init ~step in
+    Array.iteri (fun v st -> if active.(v) then colors.(v) <- st.color) states;
+    (colors, stats)
+  end
+
+let mis g ~active =
+  let colors, color_stats = color g ~active in
+  (* class [round - 1] decides in round [round]; winners announce *)
+  let init v = ((colors.(v), false, false), active.(v)) in
+  let step ~round v (c, in_mis, dominated) inbox =
+    let dominated = dominated || List.exists (fun (_, joined) -> joined) inbox in
+    if c = round - 1 then
+      let joins = not dominated in
+      let out =
+        if joins then
+          Graph.fold_neighbors g v
+            (fun acc w -> if active.(w) then (w, true) :: acc else acc)
+            []
+        else []
+      in
+      ((c, joins, dominated), Sync.Halt out)
+    else ((c, in_mis, dominated), Sync.Continue [])
+  in
+  let states, stats = Sync.run g ~init ~step in
+  (Array.map (fun (_, m, _) -> m) states, Stats.add color_stats stats)

@@ -1,0 +1,35 @@
+(** Deterministic distributed coloring and MIS in the
+    Goldberg–Plotkin–Shannon / Linial style — the machinery behind the
+    [O(log* n)]-round symmetry breaking the paper's GBG bound builds on.
+
+    Pipeline, every step a synchronous message-passing program:
+
+    + decompose the graph into [F <= Δ] rooted forests (the i-th edge
+      towards a higher-id neighbor goes to forest [i]);
+    + run Cole–Vishkin on all forests in parallel ([O(log* n)] rounds,
+      messages carry one color per forest), then shift-down/recolor each
+      forest to 3 colors;
+    + merge the forest colorings one at a time: take the product with
+      the accumulated coloring and dissolve the color classes above
+      [Δ + 1] one synchronous round per class ([O(Δ²)] rounds total) —
+      a proper [(Δ+1)]-coloring of the whole graph;
+    + extract an MIS from the coloring, one class per round.
+
+    Deterministic [O(Δ² + log* n)] rounds overall: asymptotically the
+    right shape for bounded-degree (growth-bounded) networks, if with
+    larger constants than Luby in practice — see the bench ablation. *)
+
+open Fdlsp_graph
+open Fdlsp_sim
+
+val forests : Graph.t -> active:bool array -> int * int array array
+(** [forests g ~active] is [(count, parent)] where [parent.(i).(v)] is
+    [v]'s parent in forest [i] (or -1): the i-th active neighbor of [v]
+    with a higher id, ascending.  Exposed for tests. *)
+
+val color : Graph.t -> active:bool array -> int array * Stats.t
+(** Proper [(Δ+1)]-coloring of the active subgraph ([-1] for inactive
+    nodes); [Δ] is the maximum active-subgraph degree. *)
+
+val mis : Graph.t -> active:bool array -> bool array * Stats.t
+(** MIS of the active subgraph via {!color}. *)

@@ -1,0 +1,95 @@
+open Fdlsp_graph
+open Fdlsp_sim
+
+type algo = Luby of Random.State.t | Local_min | Gps
+
+type status = Undecided | In_mis | Dominated
+
+type node_state = {
+  status : status;
+  priority : float;
+  undecided_nbrs : int list; (* neighbors still competing *)
+}
+
+type msg =
+  | Value of float  (** this phase's priority *)
+  | Joined  (** sender entered the MIS *)
+  | Retired  (** sender became dominated *)
+
+(* One phase is two engine rounds:
+     value round  — each undecided node broadcasts a priority to its
+                    undecided neighbors (or [Retired] and halts, if a
+                    neighbor announced [Joined] last phase);
+     status round — a node beating every remaining undecided neighbor
+                    joins, announces [Joined] and halts; [Retired]
+                    announcements received here prune the competitor
+                    lists before comparing. *)
+let compute_priority_based ~draw g ~active =
+  let beats (p1, v1) (p2, v2) = p1 < p2 || (p1 = p2 && v1 < v2) in
+  let init v =
+    let undecided_nbrs =
+      Graph.fold_neighbors g v (fun acc w -> if active.(w) then w :: acc else acc) []
+    in
+    ({ status = Undecided; priority = 0.; undecided_nbrs }, active.(v))
+  in
+  let send_all targets payload = List.map (fun w -> (w, payload)) targets in
+  let prune state inbox =
+    let gone =
+      List.filter_map (function w, (Joined | Retired) -> Some w | _, Value _ -> None) inbox
+    in
+    if gone = [] then state
+    else
+      { state with
+        undecided_nbrs = List.filter (fun w -> not (List.mem w gone)) state.undecided_nbrs }
+  in
+  let step ~round v state inbox =
+    let state = prune state inbox in
+    if (round - 1) mod 2 = 0 then begin
+      (* value round *)
+      let dominated = List.exists (function _, Joined -> true | _ -> false) inbox in
+      if dominated then
+        ( { state with status = Dominated },
+          Sync.Halt (send_all state.undecided_nbrs Retired) )
+      else
+        let priority = draw v in
+        ({ state with priority }, Sync.Continue (send_all state.undecided_nbrs (Value priority)))
+    end
+    else begin
+      (* status round: compare against the values of still-undecided
+         competitors *)
+      let wins =
+        List.for_all
+          (function
+            | w, Value p ->
+                (not (List.mem w state.undecided_nbrs)) || beats (state.priority, v) (p, w)
+            | _, (Joined | Retired) -> true)
+          inbox
+      in
+      if wins then
+        ({ state with status = In_mis }, Sync.Halt (send_all state.undecided_nbrs Joined))
+      else (state, Sync.Continue [])
+    end
+  in
+  let states, stats = Sync.run g ~init ~step in
+  (Array.map (fun s -> s.status = In_mis) states, stats)
+
+let compute ~algo g ~active =
+  match algo with
+  | Luby rng -> compute_priority_based ~draw:(fun _v -> Random.State.float rng 1.) g ~active
+  | Local_min -> compute_priority_based ~draw:(fun _v -> 0.) g ~active
+  | Gps -> Gps.mis g ~active
+
+let is_independent g mis =
+  let ok = ref true in
+  Graph.iter_edges g (fun _ u v -> if mis.(u) && mis.(v) then ok := false);
+  !ok
+
+let is_maximal g ~active mis =
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if active.(v) && not mis.(v) then begin
+      let dominated = Graph.fold_neighbors g v (fun acc w -> acc || mis.(w)) false in
+      if not dominated then ok := false
+    end
+  done;
+  !ok

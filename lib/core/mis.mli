@@ -1,0 +1,33 @@
+(** Distributed maximal independent set — the subroutine of DistMIS
+    (Algorithm 1, line 3 and line 7).
+
+    The paper plugs in Schneider–Wattenhofer's [O(log* n)] MIS for
+    growth-bounded graphs; any distributed MIS works for correctness
+    (DESIGN.md, substitutions).  We provide Luby's randomized algorithm
+    ([O(log n)] rounds w.h.p.), a deterministic local-minimum-ID
+    variant — both two synchronous rounds per phase (values, then
+    join/retire announcements) — and the deterministic
+    [O(Δ² + log* n)] Goldberg–Plotkin–Shannon pipeline of {!Gps}. *)
+
+open Fdlsp_graph
+open Fdlsp_sim
+
+type algo =
+  | Luby of Random.State.t  (** random priorities each phase *)
+  | Local_min  (** node ids as fixed priorities; deterministic *)
+  | Gps
+      (** deterministic Goldberg-Plotkin-Shannon pipeline ({!Gps}):
+          [O(Δ² + log* n)] rounds, the right asymptotic shape for the
+          paper's growth-bounded-graph bound *)
+
+val compute : algo:algo -> Graph.t -> active:bool array -> bool array * Stats.t
+(** [compute ~algo g ~active] runs the protocol among the nodes with
+    [active.(v) = true] (the residual graph); inactive nodes do not
+    participate.  Returns the membership array (always [false] for
+    inactive nodes) and the communication stats. *)
+
+val is_independent : Graph.t -> bool array -> bool
+(** No two members are adjacent. *)
+
+val is_maximal : Graph.t -> active:bool array -> bool array -> bool
+(** Every active non-member has a member neighbor. *)

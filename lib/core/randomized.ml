@@ -1,0 +1,171 @@
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+type result = { schedule : Schedule.t; stats : Stats.t; trials : int }
+
+type msg =
+  | Propose of (Arc.id * int) array
+  | Reject of (Arc.id * int)  (** arc, blocked color *)
+  | Final of (Arc.id * int) array
+  | Done
+
+module Iset = Set.Make (Int)
+
+type node = {
+  final : (Arc.id, int) Hashtbl.t; (* known finalized colors *)
+  blocked : (Arc.id, Iset.t) Hashtbl.t; (* colors vetoed per own arc *)
+  mutable pending : Arc.id list; (* own uncolored outgoing arcs *)
+  mutable tentative : (Arc.id * int) list;
+  mutable self_rejects : (Arc.id * int) list;
+  mutable done_nbrs : Iset.t;
+  mutable announced_done : bool;
+  mutable trials : int;
+}
+
+let blocked_set st a = Option.value ~default:Iset.empty (Hashtbl.find_opt st.blocked a)
+
+(* Smallest [window] colors that are not forbidden for arc [a] given the
+   node's final knowledge, its veto set and its other tentatives. *)
+let candidates g st a ~window ~own_tentative =
+  let forbidden = Hashtbl.create 16 in
+  Conflict.iter_conflicting g a (fun b ->
+      match Hashtbl.find_opt st.final b with
+      | Some c -> Hashtbl.replace forbidden c ()
+      | None -> ());
+  Iset.iter (fun c -> Hashtbl.replace forbidden c ()) (blocked_set st a);
+  List.iter (fun (_, c) -> Hashtbl.replace forbidden c ()) own_tentative;
+  let rec collect c acc k =
+    if k = 0 then List.rev acc
+    else if Hashtbl.mem forbidden c then collect (c + 1) acc k
+    else collect (c + 1) (c :: acc) (k - 1)
+  in
+  collect 0 [] window
+
+let broadcast g v payload = Graph.fold_neighbors g v (fun acc w -> (w, payload) :: acc) []
+
+let run ?(window = 3) ~rng g =
+  let sched = Schedule.make g in
+  let init v =
+    let pending = ref [] in
+    Arc.iter_out g v (fun a -> pending := a :: !pending);
+    ( {
+        final = Hashtbl.create 16;
+        blocked = Hashtbl.create 8;
+        pending = List.rev !pending;
+        tentative = [];
+        self_rejects = [];
+        done_nbrs = Iset.empty;
+        announced_done = false;
+        trials = 0;
+      },
+      true )
+  in
+  let step ~round v st inbox =
+    match (round - 1) mod 3 with
+    | 0 ->
+        (* propose round; first fold in finals/dones from last finalize *)
+        List.iter
+          (fun (w, m) ->
+            match m with
+            | Final table -> Array.iter (fun (a, c) -> Hashtbl.replace st.final a c) table
+            | Done -> st.done_nbrs <- Iset.add w st.done_nbrs
+            | Propose _ | Reject _ -> ())
+          inbox;
+        let nbr_count = Graph.degree g v in
+        if st.pending = [] && Iset.cardinal st.done_nbrs = nbr_count then (st, Sync.Halt [])
+        else begin
+          st.trials <- st.trials + 1;
+          st.tentative <- [];
+          List.iter
+            (fun a ->
+              match candidates g st a ~window ~own_tentative:st.tentative with
+              | [] -> ()
+              | cands ->
+                  let c = List.nth cands (Random.State.int rng (List.length cands)) in
+                  st.tentative <- (a, c) :: st.tentative)
+            st.pending;
+          let payload = Propose (Array.of_list st.tentative) in
+          (st, Sync.Continue (if st.tentative = [] then [] else broadcast g v payload))
+        end
+    | 1 ->
+        (* arbitrate: every proposal this node can see, plus its final
+           knowledge *)
+        let proposals = ref (List.map (fun (a, c) -> (a, c, v)) st.tentative) in
+        List.iter
+          (fun (w, m) ->
+            match m with
+            | Propose table -> Array.iter (fun (a, c) -> proposals := (a, c, w) :: !proposals) table
+            | Final _ | Done | Reject _ -> ())
+          inbox;
+        let rejects = ref [] in
+        let props = Array.of_list !proposals in
+        Array.iteri
+          (fun i (a, ca, pa) ->
+            (* versus known finals *)
+            let vetoed = ref false in
+            Conflict.iter_conflicting g a (fun b ->
+                if (not !vetoed) && Hashtbl.find_opt st.final b = Some ca then vetoed := true);
+            if !vetoed then rejects := (a, ca, pa) :: !rejects;
+            (* versus other visible proposals: the larger arc id loses *)
+            Array.iteri
+              (fun j (b, cb, pb) ->
+                if i < j && ca = cb && Conflict.conflict g a b then begin
+                  let loser, lp = if a > b then (a, pa) else (b, pb) in
+                  rejects := (loser, ca, lp) :: !rejects
+                end)
+              props)
+          props;
+        let out = ref [] in
+        List.iter
+          (fun (a, c, proposer) ->
+            if proposer = v then st.self_rejects <- (a, c) :: st.self_rejects
+            else out := (proposer, Reject (a, c)) :: !out)
+          !rejects;
+        (st, Sync.Continue !out)
+    | _ ->
+        (* finalize *)
+        let rejected = Hashtbl.create 8 in
+        List.iter (fun (a, c) -> Hashtbl.replace rejected a c) st.self_rejects;
+        List.iter
+          (fun (_, m) ->
+            match m with
+            | Reject (a, c) -> Hashtbl.replace rejected a c
+            | Propose _ | Final _ | Done -> ())
+          inbox;
+        st.self_rejects <- [];
+        let fresh = ref [] in
+        List.iter
+          (fun (a, c) ->
+            match Hashtbl.find_opt rejected a with
+            | Some blocked_c ->
+                Hashtbl.replace st.blocked a (Iset.add blocked_c (blocked_set st a))
+            | None ->
+                Hashtbl.replace st.final a c;
+                st.pending <- List.filter (fun x -> x <> a) st.pending;
+                fresh := (a, c) :: !fresh)
+          st.tentative;
+        st.tentative <- [];
+        let msgs = ref [] in
+        if !fresh <> [] then msgs := [ Final (Array.of_list !fresh) ];
+        if st.pending = [] && not st.announced_done then begin
+          st.announced_done <- true;
+          msgs := Done :: !msgs
+        end;
+        let out = List.concat_map (fun m -> broadcast g v m) !msgs in
+        (st, Sync.Continue out)
+  in
+  let weight = function
+    | Propose t | Final t -> Array.length t
+    | Reject _ | Done -> 1
+  in
+  let states, stats = Sync.run ~weight g ~init ~step in
+  let trials = Array.fold_left (fun acc st -> max acc st.trials) 0 states in
+  Array.iteri
+    (fun v st ->
+      Arc.iter_out g v (fun a ->
+          match Hashtbl.find_opt st.final a with
+          | Some c -> Schedule.set sched a c
+          | None -> invalid_arg "Randomized.run: arc left uncolored"))
+    states;
+  { schedule = sched; stats; trials }

@@ -1,0 +1,27 @@
+(** Randomized distance-1-knowledge coloring — the ablation the paper
+    mentions in Section 5 ("we have attempted a randomized algorithm for
+    the FDLSP, but it produced longer schedules with speed close to the
+    independent set based algorithm").
+
+    Every trial is three synchronous rounds: tails propose random
+    tentative colors for their uncolored outgoing arcs (drawn from a
+    small window of locally-free colors); every node then arbitrates the
+    tentative pairs it can see — each conflicting pair of arcs is
+    visible to a shared or intermediate node, which rejects the
+    lower-priority arc; undefeated proposals finalize and are announced.
+    Nodes only ever use 1-hop messages: distance-2 coordination emerges
+    from the intermediate-node arbitration. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+type result = {
+  schedule : Schedule.t;
+  stats : Stats.t;
+  trials : int;  (** 3-round proposal rounds until every arc stuck *)
+}
+
+val run : ?window:int -> rng:Random.State.t -> Graph.t -> result
+(** [window] is how many locally-free colors a proposal samples from
+    (default 3); larger windows converge faster but use more slots. *)

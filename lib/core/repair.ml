@@ -1,0 +1,158 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+(* Colors are keyed by directed node pairs so they survive the edge
+   re-indexing that graph rebuilds entail. *)
+module Pmap = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  n : int;
+  edges : (int * int) list; (* canonical u < v *)
+  colors : int Pmap.t; (* (tail, head) -> slot *)
+}
+
+let build_graph t = Graph.create ~n:t.n t.edges
+
+let graph t = build_graph t
+
+let schedule t =
+  let g = build_graph t in
+  let sched = Schedule.make g in
+  Arc.iter g (fun a ->
+      let key = (Arc.tail g a, Arc.head g a) in
+      match Pmap.find_opt key t.colors with
+      | Some c -> Schedule.set sched a c
+      | None -> invalid_arg "Repair.schedule: missing color");
+  sched
+
+let of_schedule sched =
+  if not (Schedule.valid sched) then invalid_arg "Repair.of_schedule: invalid schedule";
+  let g = Schedule.graph sched in
+  let colors = ref Pmap.empty in
+  Arc.iter g (fun a ->
+      colors := Pmap.add (Arc.tail g a, Arc.head g a) (Schedule.get sched a) !colors);
+  { n = Graph.n g; edges = Array.to_list (Graph.edges g); colors = !colors }
+
+let num_slots t =
+  let seen = Hashtbl.create 16 in
+  Pmap.iter (fun _ c -> Hashtbl.replace seen c ()) t.colors;
+  Hashtbl.length seen
+
+let nodes t = t.n
+
+(* First-fit the listed arcs (as (tail, head) pairs) on the rebuilt
+   graph, in order; returns the updated color map. *)
+let color_pairs t g pairs =
+  let colors = ref t.colors in
+  List.iter
+    (fun (u, v) ->
+      let a = Arc.make g u v in
+      let forbidden = Hashtbl.create 16 in
+      Conflict.iter_conflicting g a (fun b ->
+          match Pmap.find_opt (Arc.tail g b, Arc.head g b) !colors with
+          | Some c -> Hashtbl.replace forbidden c ()
+          | None -> ());
+      let rec first c = if Hashtbl.mem forbidden c then first (c + 1) else c in
+      colors := Pmap.add (u, v) (first 0) !colors)
+    pairs;
+  !colors
+
+let canonical u v = if u < v then (u, v) else (v, u)
+
+(* A new edge {u,v} also creates new *adjacency*: two old arcs (one with
+   an endpoint at [u], one at [v]) may now satisfy the hidden-terminal
+   condition while sharing a slot.  Every such pair has both arcs
+   incident to a touched node, so rechecking and first-fit recoloring
+   the arcs around the touched nodes restores validity.  Returns the
+   updated colors and how many arcs had to change. *)
+let fixup g touched colors =
+  let colors = ref colors and recolored = ref 0 in
+  let color_of b = Pmap.find_opt (Arc.tail g b, Arc.head g b) !colors in
+  List.iter
+    (fun v ->
+      Arc.iter_incident g v (fun a ->
+          match color_of a with
+          | None -> ()
+          | Some ca ->
+              let clash = ref false in
+              Conflict.iter_conflicting g a (fun b ->
+                  if (not !clash) && color_of b = Some ca then clash := true);
+              if !clash then begin
+                let forbidden = Hashtbl.create 16 in
+                Conflict.iter_conflicting g a (fun b ->
+                    match color_of b with
+                    | Some c -> Hashtbl.replace forbidden c ()
+                    | None -> ());
+                let rec first c = if Hashtbl.mem forbidden c then first (c + 1) else c in
+                colors := Pmap.add (Arc.tail g a, Arc.head g a) (first 0) !colors;
+                incr recolored
+              end))
+    touched;
+  (!colors, !recolored)
+
+let arcs_of_links v nbrs = List.concat_map (fun w -> [ (v, w); (w, v) ]) nbrs
+
+let add_node t ~neighbors =
+  let v = t.n in
+  List.iter
+    (fun w -> if w < 0 || w >= t.n then invalid_arg "Repair.add_node: unknown neighbor")
+    neighbors;
+  let neighbors = List.sort_uniq compare neighbors in
+  let edges = List.map (fun w -> canonical v w) neighbors @ t.edges in
+  let t = { t with n = t.n + 1; edges } in
+  let g = build_graph t in
+  let fresh = arcs_of_links v neighbors in
+  let colors = color_pairs t g fresh in
+  let colors, extra = fixup g (v :: neighbors) colors in
+  ({ t with colors }, v, List.length fresh + extra)
+
+let drop_links t v =
+  let edges = List.filter (fun (a, b) -> a <> v && b <> v) t.edges in
+  let colors = Pmap.filter (fun (a, b) _ -> a <> v && b <> v) t.colors in
+  { t with edges; colors }
+
+let remove_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Repair.remove_node: unknown node";
+  drop_links t v
+
+let add_edge t u v =
+  if u = v || u < 0 || v < 0 || u >= t.n || v >= t.n then
+    invalid_arg "Repair.add_edge: bad endpoints";
+  if List.mem (canonical u v) t.edges then invalid_arg "Repair.add_edge: exists";
+  let t = { t with edges = canonical u v :: t.edges } in
+  let g = build_graph t in
+  let colors = color_pairs t g [ (u, v); (v, u) ] in
+  let colors, extra = fixup g [ u; v ] colors in
+  ({ t with colors }, 2 + extra)
+
+let remove_edge t u v =
+  let e = canonical u v in
+  if not (List.mem e t.edges) then invalid_arg "Repair.remove_edge: no such edge";
+  {
+    t with
+    edges = List.filter (fun x -> x <> e) t.edges;
+    colors = Pmap.filter (fun (a, b) _ -> canonical a b <> e) t.colors;
+  }
+
+let move_node t v ~new_neighbors =
+  if v < 0 || v >= t.n then invalid_arg "Repair.move_node: unknown node";
+  List.iter
+    (fun w ->
+      if w = v || w < 0 || w >= t.n then invalid_arg "Repair.move_node: bad neighbor")
+    new_neighbors;
+  let new_neighbors = List.sort_uniq compare new_neighbors in
+  let t = drop_links t v in
+  let t = { t with edges = List.map (fun w -> canonical v w) new_neighbors @ t.edges } in
+  let g = build_graph t in
+  let fresh = arcs_of_links v new_neighbors in
+  let colors = color_pairs t g fresh in
+  let colors, extra = fixup g (v :: new_neighbors) colors in
+  ({ t with colors }, List.length fresh + extra)
+
+let recompute t =
+  let g = build_graph t in
+  Schedule.num_slots (Dfs_sched.run g).Dfs_sched.schedule

@@ -1,0 +1,51 @@
+(** Dynamic topology maintenance — the paper's future-work section
+    (Section 9): sensors join, fail, or move, and the link schedule must
+    be patched with local work instead of a network-wide recomputation.
+
+    The repair rule is purely local and greedy: arcs that disappear are
+    dropped (validity is monotone under arc removal); new arcs are
+    first-fit colored against the distance-2 neighborhood, which needs
+    only the 2-hop knowledge a node already maintains in DistMIS/DFS, so
+    each repair costs O(1) communication rounds for the affected nodes.
+    Slot counts may drift upward under churn; {!recompute} measures the
+    drift against a fresh DFS schedule. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+
+type t
+
+val of_schedule : Schedule.t -> t
+(** Adopt an existing valid schedule (raises [Invalid_argument] if it
+    does not validate). *)
+
+val graph : t -> Graph.t
+val schedule : t -> Schedule.t
+(** A snapshot of the current schedule (always complete and valid). *)
+
+val num_slots : t -> int
+val nodes : t -> int
+
+val add_node : t -> neighbors:int list -> t * int * int
+(** [add_node t ~neighbors] joins a fresh sensor linked to [neighbors]:
+    returns the new state, the new node's id, and the number of arcs
+    (re)colored — the locality metric. *)
+
+val remove_node : t -> int -> t
+(** Sensor failure: its links vanish; the node id remains as a ghost
+    (ids are stable). *)
+
+val add_edge : t -> int -> int -> t * int
+(** New link (e.g. two sensors moved into range): returns the new state
+    and the number of arcs colored. *)
+
+val remove_edge : t -> int -> int -> t
+(** Link loss. *)
+
+val move_node : t -> int -> new_neighbors:int list -> t * int
+(** Re-link an existing node (mobility): drop all its links, attach the
+    new ones, recolor locally.  Returns arcs recolored. *)
+
+val recompute : t -> int
+(** Slots of a from-scratch DFS schedule on the current topology — the
+    yardstick for churn-induced slot drift. *)

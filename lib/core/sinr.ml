@@ -1,0 +1,98 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+type params = { power : float; alpha : float; noise : float; beta : float }
+
+let default_params = { power = 1.; alpha = 3.; noise = 1e-6; beta = 2. }
+
+type report = { receptions : int; failures : int; worst_sinr : float }
+
+let received_power p points ~from ~at =
+  let d = Geometry.dist points.(from) points.(at) in
+  if d <= 0. then infinity else p.power *. (d ** -.p.alpha)
+
+let sinr p points ~tx ~rx ~others =
+  let signal = received_power p points ~from:tx ~at:rx in
+  let interference =
+    List.fold_left
+      (fun acc t -> if t = tx then acc else acc +. received_power p points ~from:t ~at:rx)
+      0. others
+  in
+  signal /. (p.noise +. interference)
+
+let check_slots p points g slots =
+  let receptions = ref 0 and failures = ref 0 and worst = ref infinity in
+  List.iter
+    (fun (_, arcs) ->
+      let transmitters = List.map (fun a -> Arc.tail g a) arcs in
+      List.iter
+        (fun a ->
+          incr receptions;
+          let ratio =
+            sinr p points ~tx:(Arc.tail g a) ~rx:(Arc.head g a) ~others:transmitters
+          in
+          if ratio < !worst then worst := ratio;
+          if ratio < p.beta then incr failures)
+        arcs)
+    slots;
+  { receptions = !receptions; failures = !failures; worst_sinr = !worst }
+
+let check p points g sched =
+  if Array.length points <> Graph.n g then
+    invalid_arg "Sinr.check: positions do not match the graph";
+  check_slots p points g (Schedule.slot_arcs sched)
+
+(* Would slot [arcs] stay SINR-clean if [a] joined it, and would [a]'s
+   own reception succeed? *)
+let slot_accepts p points g arcs a =
+  let txs = Arc.tail g a :: List.map (fun b -> Arc.tail g b) arcs in
+  let ok_arc b = sinr p points ~tx:(Arc.tail g b) ~rx:(Arc.head g b) ~others:txs >= p.beta in
+  List.for_all ok_arc (a :: arcs)
+
+let protocol_ok g arcs a = List.for_all (fun b -> not (Conflict.conflict g a b)) arcs
+
+let harden p points g sched =
+  if Array.length points <> Graph.n g then
+    invalid_arg "Sinr.harden: positions do not match the graph";
+  Arc.iter g (fun a ->
+      if sinr p points ~tx:(Arc.tail g a) ~rx:(Arc.head g a) ~others:[] < p.beta then
+        invalid_arg "Sinr.harden: a link misses the threshold even alone");
+  let out = Schedule.copy sched in
+  let moved = ref 0 in
+  let rec failing_arc () =
+    let slots = Schedule.slot_arcs out in
+    let found = ref None in
+    List.iter
+      (fun (_, arcs) ->
+        let txs = List.map (fun b -> Arc.tail g b) arcs in
+        List.iter
+          (fun a ->
+            if
+              !found = None
+              && sinr p points ~tx:(Arc.tail g a) ~rx:(Arc.head g a) ~others:txs < p.beta
+            then found := Some a)
+          arcs)
+      slots;
+    match !found with
+    | None -> ()
+    | Some a ->
+        let slots = Schedule.slot_arcs out in
+        let rec place c =
+          let arcs_in_c =
+            match List.assoc_opt c slots with Some l -> List.filter (fun b -> b <> a) l | None -> []
+          in
+          if
+            c <> Schedule.get out a
+            && protocol_ok g arcs_in_c a
+            && slot_accepts p points g arcs_in_c a
+          then Schedule.set out a c
+          else place (c + 1)
+        in
+        (* an empty slot beyond [max_color] always accepts (solo
+           reception was checked above), so [place] terminates *)
+        place 0;
+        incr moved;
+        failing_arc ()
+  in
+  failing_arc ();
+  (out, !moved)

@@ -1,0 +1,51 @@
+(** SINR (physical / fading channel) interference model.
+
+    The paper's related work (Section 2) argues that the
+    signal-to-interference-plus-noise-ratio model is the most realistic
+    sensor-network model but is not yet tractable for distributed
+    algorithms, and that UDG algorithms can be lifted to SINR by
+    emulation [17].  This module provides the substrate to study that
+    gap: a reception at distance [d] succeeds iff
+
+      [P d^-alpha / (noise + sum over other transmitters P d'^-alpha) >= beta].
+
+    [check] evaluates a protocol-model FDLSP schedule slot by slot under
+    SINR, and [harden] reproduces the emulation idea by moving failed
+    arcs into fresh slots until the whole frame is SINR-clean. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+
+type params = {
+  power : float;  (** transmit power P (identical radios) *)
+  alpha : float;  (** path-loss exponent, typically 2..6 *)
+  noise : float;  (** ambient noise floor *)
+  beta : float;  (** reception threshold *)
+}
+
+val default_params : params
+(** [P = 1, alpha = 3, noise = 1e-6, beta = 2]: with radius-1 links the
+    direct signal is around unity, so failures come from interference. *)
+
+type report = {
+  receptions : int;  (** intended (arc) receptions evaluated *)
+  failures : int;  (** receptions below the SINR threshold *)
+  worst_sinr : float;  (** minimum ratio observed, [infinity] if none *)
+}
+
+val sinr :
+  params -> Geometry.point array -> tx:int -> rx:int -> others:int list -> float
+(** The ratio for one reception given the other simultaneous
+    transmitter positions. *)
+
+val check : params -> Geometry.point array -> Graph.t -> Schedule.t -> report
+(** Evaluate every slot of a complete schedule.  Raises
+    [Invalid_argument] if the positions array does not match the
+    graph. *)
+
+val harden : params -> Geometry.point array -> Graph.t -> Schedule.t -> Schedule.t * int
+(** Greedily re-slot SINR-failing arcs: repeatedly pick a failing
+    reception and move its arc to the first (possibly fresh) slot where
+    both the protocol model and SINR accept it, until the frame is
+    clean.  Returns the hardened schedule and the number of arcs
+    moved. *)

@@ -1,0 +1,160 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+type frame_report = { transmissions : int; collisions : int }
+
+let check_frame g sched =
+  let by_slot = Schedule.slot_arcs sched in
+  let transmissions = ref 0 and collisions = ref 0 in
+  List.iter
+    (fun (_, arcs) ->
+      let transmitters = List.map (fun a -> Arc.tail g a) arcs in
+      List.iter
+        (fun a ->
+          incr transmissions;
+          let t = Arc.tail g a and r = Arc.head g a in
+          (* a radio sends one packet per slot: a second arc with the
+             same tail dooms this transmission too *)
+          let double_booked = List.exists (fun b -> b <> a && Arc.tail g b = t) arcs in
+          let jammed =
+            List.exists (fun t' -> t' <> t && (t' = r || Graph.mem_edge g t' r)) transmitters
+          in
+          if double_booked || jammed then incr collisions)
+        arcs)
+    by_slot;
+  { transmissions = !transmissions; collisions = !collisions }
+
+type convergecast_report = {
+  frames : int;
+  frame_length : int;
+  delivered : int;
+  tx_slots : int;
+  rx_slots : int;
+}
+
+(* BFS parents toward the sink; [-1] for the sink itself. *)
+let routing_tree g ~sink =
+  let dist = Traversal.bfs_distances g sink in
+  let parent = Array.make (Graph.n g) (-1) in
+  for v = 0 to Graph.n g - 1 do
+    if v <> sink && dist.(v) <> max_int then
+      Graph.iter_neighbors g v (fun w ->
+          if dist.(w) = dist.(v) - 1 && parent.(v) = -1 then parent.(v) <- w)
+  done;
+  (parent, dist)
+
+let convergecast g sched ~sink ~packets ~max_frames =
+  let parent, dist = routing_tree g ~sink in
+  Array.iteri
+    (fun v p ->
+      if p > 0 && dist.(v) = max_int then
+        invalid_arg "Tdma.convergecast: packet source cannot reach the sink")
+    packets;
+  let queue = Array.copy packets in
+  let total = Array.fold_left ( + ) 0 packets - packets.(sink) in
+  queue.(sink) <- 0;
+  let slots = Schedule.slot_arcs sched in
+  let frame_length = List.length slots in
+  let delivered = ref 0 and tx = ref 0 and rx = ref 0 and frames = ref 0 in
+  while !delivered < total && !frames < max_frames do
+    incr frames;
+    List.iter
+      (fun (_, arcs) ->
+        List.iter
+          (fun a ->
+            let t = Arc.tail g a and h = Arc.head g a in
+            (* the arc is useful only if it is the tree arc of [t] *)
+            if parent.(t) = h && queue.(t) > 0 then begin
+              queue.(t) <- queue.(t) - 1;
+              incr tx;
+              incr rx;
+              if h = sink then incr delivered else queue.(h) <- queue.(h) + 1
+            end)
+          arcs)
+      slots
+  done;
+  if !delivered < total then invalid_arg "Tdma.convergecast: max_frames exhausted";
+  {
+    frames = !frames;
+    frame_length;
+    delivered = !delivered;
+    tx_slots = !tx;
+    rx_slots = !rx;
+  }
+
+let order_slots_for_convergecast g sched ~sink =
+  let parent, dist = routing_tree g ~sink in
+  let slots = Schedule.slot_arcs sched in
+  (* deeper tree arcs first: key = max depth of the tree arcs the slot
+     carries (slots with no tree arc keep relative position at the end) *)
+  let depth_of_slot (_, arcs) =
+    List.fold_left
+      (fun acc a ->
+        let t = Arc.tail g a in
+        if parent.(t) = Arc.head g a && dist.(t) <> max_int then max acc dist.(t) else acc)
+      (-1) arcs
+  in
+  let keyed = List.map (fun s -> (depth_of_slot s, s)) slots in
+  let sorted = List.stable_sort (fun (d1, _) (d2, _) -> compare d2 d1) keyed in
+  let out = Schedule.copy sched in
+  List.iteri
+    (fun rank (_, (_, arcs)) -> List.iter (fun a -> Schedule.set out a rank) arcs)
+    sorted;
+  out
+
+let broadcast_convergecast g ~sink ~packets ~max_frames =
+  let parent, dist = routing_tree g ~sink in
+  Array.iteri
+    (fun v p ->
+      if p > 0 && dist.(v) = max_int then
+        invalid_arg "Tdma.broadcast_convergecast: packet source cannot reach the sink")
+    packets;
+  let colors = Broadcast.greedy g in
+  let frame_length = Broadcast.num_slots colors in
+  (* nodes transmitting in slot c, in a fixed order *)
+  let by_slot = Array.make frame_length [] in
+  (* normalize colors to 0..k-1 *)
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let slot_of = Array.map
+      (fun c ->
+        match Hashtbl.find_opt remap c with
+        | Some s -> s
+        | None ->
+            let s = !next in
+            incr next;
+            Hashtbl.replace remap c s;
+            s)
+      colors
+  in
+  Array.iteri (fun v s -> by_slot.(s) <- v :: by_slot.(s)) slot_of;
+  let queue = Array.copy packets in
+  let total = Array.fold_left ( + ) 0 packets - packets.(sink) in
+  queue.(sink) <- 0;
+  let delivered = ref 0 and tx = ref 0 and rx = ref 0 and frames = ref 0 in
+  while !delivered < total && !frames < max_frames do
+    incr frames;
+    Array.iter
+      (fun transmitters ->
+        List.iter
+          (fun v ->
+            if v <> sink && queue.(v) > 0 then begin
+              queue.(v) <- queue.(v) - 1;
+              incr tx;
+              (* every neighbor listens during v's slot - the broadcast
+                 energy cost - though only the parent keeps the packet *)
+              rx := !rx + Graph.degree g v;
+              let p = parent.(v) in
+              if p = sink then incr delivered else queue.(p) <- queue.(p) + 1
+            end)
+          (List.rev transmitters))
+      by_slot;
+  done;
+  if !delivered < total then invalid_arg "Tdma.broadcast_convergecast: max_frames exhausted";
+  {
+    frames = !frames;
+    frame_length;
+    delivered = !delivered;
+    tx_slots = !tx;
+    rx_slots = !rx;
+  }

@@ -1,0 +1,54 @@
+(** TDMA frame runtime: executes a link schedule under the protocol
+    interference model and runs convergecast (data gathering) workloads
+    on top of it.
+
+    This closes the loop between the coloring abstraction and the radio
+    reality the paper argues about: an arc transmission succeeds iff its
+    transmitter sends nothing else in that slot and no other node
+    adjacent to the receiver (or the receiver itself) transmits in it.
+    A schedule is valid in the {!Fdlsp_color.Schedule} sense iff a full
+    frame executes with zero collisions — an equivalence the test suite
+    checks in both directions, including on corrupted schedules. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+
+type frame_report = {
+  transmissions : int;  (** arcs that transmitted *)
+  collisions : int;  (** transmissions lost at their intended receiver *)
+}
+
+val check_frame : Graph.t -> Schedule.t -> frame_report
+(** Transmit once on every colored arc, slot by slot, and count
+    protocol-model collisions at intended receivers. *)
+
+type convergecast_report = {
+  frames : int;  (** TDMA frames until every packet reached the sink *)
+  frame_length : int;  (** slots per frame *)
+  delivered : int;
+  tx_slots : int;  (** slot occupancies spent transmitting *)
+  rx_slots : int;  (** slot occupancies spent receiving *)
+}
+
+val convergecast :
+  Graph.t -> Schedule.t -> sink:int -> packets:int array -> max_frames:int -> convergecast_report
+(** Route [packets.(v)] unit packets from every node [v] to [sink] over
+    the BFS routing tree, one packet per scheduled arc slot; packets may
+    ride multiple hops within a frame when slot order allows.  Raises
+    [Invalid_argument] if some packet source cannot reach the sink or
+    [max_frames] is exhausted. *)
+
+val order_slots_for_convergecast : Graph.t -> Schedule.t -> sink:int -> Schedule.t
+(** Renumber slots so that arcs deeper in the sink's BFS tree fire
+    earlier in the frame: a packet forwarded at depth [d] can then ride
+    the depth-[d-1] arc within the same frame.  A pure permutation of
+    slot names — validity and slot count are untouched — that can cut
+    convergecast latency by up to the network depth. *)
+
+val broadcast_convergecast :
+  Graph.t -> sink:int -> packets:int array -> max_frames:int -> convergecast_report
+(** The same workload on a broadcast (node) schedule from {!Broadcast},
+    for the link-vs-broadcast comparison: each node forwards at most one
+    packet in its own slot, and every neighbor of a transmitter has its
+    radio on in that slot (the paper's energy argument), which the
+    [rx_slots] figure exposes. *)

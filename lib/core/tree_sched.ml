@@ -1,0 +1,32 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+let is_forest g =
+  let comp_count = snd (Traversal.components g) in
+  Graph.m g = Graph.n g - comp_count
+
+let schedule g =
+  if not (is_forest g) then invalid_arg "Tree_sched.schedule: graph has a cycle";
+  let n = Graph.n g in
+  let sched = Schedule.make g in
+  let visited = Array.make n false in
+  let order = ref [] in
+  for root = 0 to n - 1 do
+    if not visited.(root) then begin
+      let q = Queue.create () in
+      visited.(root) <- true;
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Graph.iter_neighbors g v (fun w ->
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              (* both directions of the tree edge, downward first *)
+              order := Arc.make g w v :: Arc.make g v w :: !order;
+              Queue.add w q
+            end)
+      done
+    end
+  done;
+  Greedy.extend sched (List.rev !order);
+  sched

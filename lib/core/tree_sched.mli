@@ -1,0 +1,21 @@
+(** Specialized linear-time scheduler for trees and forests.
+
+    Section 8 observes that both the ILP and the DFS algorithm assign
+    exactly [2 Δ] slots on trees — the Theorem 1 lower bound, since all
+    arcs at a maximum-degree node pairwise conflict.  This module
+    reaches that optimum directly: arcs are first-fit colored in BFS
+    order (each edge's two directions together, parents before
+    children), which meets [2 Δ] on every tree we have ever generated
+    (the test suite checks the claim on thousands of random trees, and
+    the result is independently validated).  Linear time up to the
+    first-fit scans. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+
+val is_forest : Graph.t -> bool
+
+val schedule : Graph.t -> Schedule.t
+(** Raises [Invalid_argument] if the graph has a cycle.  The result is
+    validated internally; on a (hypothetical) input where BFS greedy
+    exceeded [2 Δ] the schedule would still be returned, valid. *)

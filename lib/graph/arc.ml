@@ -1,0 +1,38 @@
+type id = int
+
+let count g = 2 * Graph.m g
+let of_edge ~edge ~dir = (2 * edge) + dir
+let edge a = a / 2
+let dir a = a land 1
+
+let tail g a =
+  let u, v = Graph.edge_endpoints g (edge a) in
+  if dir a = 0 then u else v
+
+let head g a =
+  let u, v = Graph.edge_endpoints g (edge a) in
+  if dir a = 0 then v else u
+
+let rev a = a lxor 1
+
+let make g u v =
+  match Graph.edge_index g u v with
+  | None -> invalid_arg "Arc.make: not an edge"
+  | Some e ->
+      let cu, _ = Graph.edge_endpoints g e in
+      of_edge ~edge:e ~dir:(if u = cu then 0 else 1)
+
+let iter g f =
+  for a = 0 to count g - 1 do
+    f a
+  done
+
+let iter_out g v f = Graph.iter_incident_edges g v (fun _ w -> f (make g v w))
+let iter_in g v f = Graph.iter_incident_edges g v (fun _ w -> f (make g w v))
+
+let iter_incident g v f =
+  Graph.iter_incident_edges g v (fun _ w ->
+      f (make g v w);
+      f (make g w v))
+
+let pp g ppf a = Format.fprintf ppf "%d->%d" (tail g a) (head g a)

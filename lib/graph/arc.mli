@@ -1,0 +1,46 @@
+(** Arcs of the bi-directed view of an undirected {!Graph.t}.
+
+    FDLSP colors directed links: every undirected edge [{u,v}] of the
+    network contributes the two arcs [u -> v] and [v -> u].  Arc ids are
+    stable integers in [0 .. 2m-1]: edge [e] with canonical endpoints
+    [(u, v)], [u < v], yields arc [2e] for [u -> v] and arc [2e+1] for
+    [v -> u]. *)
+
+type id = int
+
+val count : Graph.t -> int
+(** [2 * m]. *)
+
+val of_edge : edge:int -> dir:int -> id
+(** [dir] is 0 for the canonical direction, 1 for the reverse. *)
+
+val edge : id -> int
+val dir : id -> int
+
+val tail : Graph.t -> id -> int
+(** Transmitting endpoint. *)
+
+val head : Graph.t -> id -> int
+(** Receiving endpoint. *)
+
+val rev : id -> id
+(** The opposite arc of the same edge. *)
+
+val make : Graph.t -> int -> int -> id
+(** [make g u v] is the arc [u -> v]; raises [Invalid_argument] if
+    [{u,v}] is not an edge of [g]. *)
+
+val iter : Graph.t -> (id -> unit) -> unit
+(** All arcs in id order. *)
+
+val iter_out : Graph.t -> int -> (id -> unit) -> unit
+(** [iter_out g v f] visits every arc with tail [v]. *)
+
+val iter_in : Graph.t -> int -> (id -> unit) -> unit
+(** [iter_in g v f] visits every arc with head [v]. *)
+
+val iter_incident : Graph.t -> int -> (id -> unit) -> unit
+(** Arcs with tail or head [v] (each arc once). *)
+
+val pp : Graph.t -> Format.formatter -> id -> unit
+(** Renders as ["u->v"]. *)

@@ -1,0 +1,63 @@
+let triangles_on_edge g u v = List.length (Graph.common_neighbors g u v)
+
+let triangle_count g =
+  let total = ref 0 in
+  Graph.iter_edges g (fun _ u v -> total := !total + triangles_on_edge g u v);
+  !total / 3
+
+module Iset = Set.Make (Int)
+
+(* Bron-Kerbosch with pivoting.  [r] is the current clique, [p] the
+   candidates, [x] the excluded set. *)
+let bron_kerbosch g ~report =
+  let neighbors v = Iset.of_list (Array.to_list (Graph.neighbors g v)) in
+  let rec go r p x =
+    if Iset.is_empty p && Iset.is_empty x then report (Iset.elements r)
+    else begin
+      (* pivot: vertex of p union x with most neighbors in p *)
+      let pivot =
+        Iset.fold
+          (fun v best ->
+            let score = Iset.cardinal (Iset.inter (neighbors v) p) in
+            match best with
+            | Some (_, s) when s >= score -> best
+            | _ -> Some (v, score))
+          (Iset.union p x) None
+      in
+      let candidates =
+        match pivot with
+        | None -> p
+        | Some (v, _) -> Iset.diff p (neighbors v)
+      in
+      let p = ref p and x = ref x in
+      Iset.iter
+        (fun v ->
+          let nv = neighbors v in
+          go (Iset.add v r) (Iset.inter !p nv) (Iset.inter !x nv);
+          p := Iset.remove v !p;
+          x := Iset.add v !x)
+        candidates
+    end
+  in
+  let all = Iset.of_list (List.init (Graph.n g) Fun.id) in
+  go Iset.empty all Iset.empty
+
+let iter_maximal_cliques g f = bron_kerbosch g ~report:f
+
+let max_clique g =
+  if Graph.n g = 0 then []
+  else begin
+    let best = ref [] in
+    iter_maximal_cliques g (fun c -> if List.length c > List.length !best then best := c);
+    !best
+  end
+
+let max_clique_size g = List.length (max_clique g)
+
+let is_clique g nodes =
+  let rec ok = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> Graph.mem_edge g v w) rest && ok rest
+  in
+  let sorted = List.sort_uniq compare nodes in
+  List.length sorted = List.length nodes && ok sorted

@@ -1,0 +1,25 @@
+(** Triangles and cliques.
+
+    The paper's lower bound (Theorem 1) is built from triangle
+    "clusters" around an edge and from the largest "joint clique", so we
+    need triangle counting and exact maximum clique on small induced
+    subgraphs.  [max_clique] is Bron–Kerbosch with pivoting — exponential
+    in the worst case but the inputs here are common-neighborhood-sized. *)
+
+val triangles_on_edge : Graph.t -> int -> int -> int
+(** Number of triangles containing the edge [{u,v}] — the paper's
+    "cluster size" for cluster center [u] (or [v]) with common edge
+    [{u,v}]. *)
+
+val triangle_count : Graph.t -> int
+(** Total number of triangles in the graph. *)
+
+val max_clique : Graph.t -> int list
+(** A maximum clique (node list, ascending).  Empty graph gives []. *)
+
+val max_clique_size : Graph.t -> int
+
+val is_clique : Graph.t -> int list -> bool
+
+val iter_maximal_cliques : Graph.t -> (int list -> unit) -> unit
+(** Bron–Kerbosch enumeration of all maximal cliques. *)

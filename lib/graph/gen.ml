@@ -1,0 +1,108 @@
+let path n = Graph.create ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.create ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Graph.create ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n !edges
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n:(a + b) !edges
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) !edges
+
+let random_tree rng n =
+  let edges = List.init (max 0 (n - 1)) (fun i -> (Random.State.int rng (i + 1), i + 1)) in
+  Graph.create ~n edges
+
+let gnm rng ~n ~m =
+  let max_m = n * (n - 1) / 2 in
+  if m < 0 || m > max_m then invalid_arg "Gen.gnm: edge count out of range";
+  (* Rejection sampling into a hash set: fine for the paper's densities;
+     switch to a partial Fisher-Yates over edge ranks when near-complete. *)
+  if m > max_m / 2 then begin
+    let all = Array.make max_m (0, 0) in
+    let k = ref 0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        all.(!k) <- (u, v);
+        incr k
+      done
+    done;
+    for i = 0 to m - 1 do
+      let j = i + Random.State.int rng (max_m - i) in
+      let tmp = all.(i) in
+      all.(i) <- all.(j);
+      all.(j) <- tmp
+    done;
+    Graph.of_array ~n (Array.sub all 0 m)
+  end
+  else begin
+    let seen = Hashtbl.create (2 * m) in
+    let edges = ref [] in
+    let count = ref 0 in
+    while !count < m do
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v then begin
+        let e = if u < v then (u, v) else (v, u) in
+        if not (Hashtbl.mem seen e) then begin
+          Hashtbl.replace seen e ();
+          edges := e :: !edges;
+          incr count
+        end
+      end
+    done;
+    Graph.create ~n !edges
+  end
+
+let gnp rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Gen.gnp: p out of range";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1. < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n !edges
+
+let udg rng ~n ~side ~radius =
+  let points = Geometry.random_points rng ~n ~side in
+  (Geometry.udg points ~radius, points)
+
+let qudg rng ~n ~side ~radius ~inner ~p =
+  if inner < 0. || inner > 1. then invalid_arg "Gen.qudg: inner out of [0,1]";
+  if p < 0. || p > 1. then invalid_arg "Gen.qudg: p out of [0,1]";
+  let points = Geometry.random_points rng ~n ~side in
+  let sure = inner *. radius in
+  let edges =
+    Geometry.udg_edges points ~radius
+    |> List.filter (fun (u, v) ->
+           Geometry.dist points.(u) points.(v) <= sure || Random.State.float rng 1. < p)
+  in
+  (Graph.create ~n edges, points)

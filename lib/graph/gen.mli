@@ -1,0 +1,54 @@
+(** Graph generators for the paper's workloads and for tests.
+
+    All randomized generators take an explicit [Random.State.t] so every
+    experiment is reproducible from a seed. *)
+
+val path : int -> Graph.t
+(** [path n]: nodes [0..n-1], edges [i -- i+1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n], [n >= 3]. *)
+
+val star : int -> Graph.t
+(** [star n]: center [0] joined to [1..n-1]. *)
+
+val complete : int -> Graph.t
+(** [complete n] is [K_n]. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b] is [K_{a,b}]: left side [0..a-1], right side
+    [a..a+b-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols], 4-neighbor mesh; node [(r,c)] has id [r*cols + c]. *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** Uniform random recursive tree: node [i > 0] attaches to a uniform
+    node in [0..i-1]. *)
+
+val gnm : Random.State.t -> n:int -> m:int -> Graph.t
+(** Uniform random simple graph with exactly [m] edges (the paper's
+    "general graphs with a given number of edges").  Raises
+    [Invalid_argument] if [m] exceeds [n*(n-1)/2]. *)
+
+val gnp : Random.State.t -> n:int -> p:float -> Graph.t
+(** Erdos–Renyi [G(n,p)]. *)
+
+val udg : Random.State.t -> n:int -> side:float -> radius:float -> Graph.t * Geometry.point array
+(** The paper's unit-disk workload: [n] points uniform in a
+    [side x side] square, linked at distance [<= radius]. *)
+
+val qudg :
+  Random.State.t ->
+  n:int ->
+  side:float ->
+  radius:float ->
+  inner:float ->
+  p:float ->
+  Graph.t * Geometry.point array
+(** Quasi unit disk graph (the relaxed model of Section 1/2, also a
+    growth-bounded graph): pairs within [inner * radius] are always
+    linked, pairs beyond [radius] never, and pairs in the gray zone are
+    linked independently with probability [p].  Requires
+    [0 <= inner <= 1] and [0 <= p <= 1]; [inner = 1] degenerates to
+    {!udg}. *)

@@ -1,0 +1,49 @@
+type point = { x : float; y : float }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let random_points rng ~n ~side =
+  Array.init n (fun _ ->
+      { x = Random.State.float rng side; y = Random.State.float rng side })
+
+(* Bucket points into cells of side [radius]; only points in the 3x3
+   cell neighborhood can be within [radius] of each other. *)
+let udg_edges points ~radius =
+  if radius <= 0. then invalid_arg "Geometry.udg_edges: radius <= 0";
+  let n = Array.length points in
+  if n = 0 then []
+  else begin
+    let cell_of p = (int_of_float (p.x /. radius), int_of_float (p.y /. radius)) in
+    let grid : (int * int, int list ref) Hashtbl.t = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun i p ->
+        let c = cell_of p in
+        match Hashtbl.find_opt grid c with
+        | Some l -> l := i :: !l
+        | None -> Hashtbl.replace grid c (ref [ i ]))
+      points;
+    let r2 = radius *. radius in
+    let edges = ref [] in
+    Array.iteri
+      (fun i p ->
+        let cx, cy = cell_of p in
+        for dx = -1 to 1 do
+          for dy = -1 to 1 do
+            match Hashtbl.find_opt grid (cx + dx, cy + dy) with
+            | None -> ()
+            | Some l ->
+                List.iter
+                  (fun j -> if i < j && dist2 p points.(j) <= r2 then edges := (i, j) :: !edges)
+                  !l
+          done
+        done)
+      points;
+    !edges
+  end
+
+let udg points ~radius =
+  Graph.create ~n:(Array.length points) (udg_edges points ~radius)

@@ -1,0 +1,18 @@
+(** Planar geometry helpers for unit-disk-graph construction. *)
+
+type point = { x : float; y : float }
+
+val dist : point -> point -> float
+val dist2 : point -> point -> float
+
+(** [random_points rng ~n ~side] draws [n] points uniformly at random in
+    the axis-aligned square [\[0, side\] x \[0, side\]]. *)
+val random_points : Random.State.t -> n:int -> side:float -> point array
+
+(** [udg_edges points ~radius] lists the pairs at Euclidean distance
+    [<= radius], using a uniform grid so construction is near-linear for
+    the sparse instances the paper generates. *)
+val udg_edges : point array -> radius:float -> (int * int) list
+
+(** [udg points ~radius] is the unit disk graph on [points]. *)
+val udg : point array -> radius:float -> Graph.t

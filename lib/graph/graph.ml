@@ -1,0 +1,190 @@
+type t = {
+  n : int;
+  edges : (int * int) array; (* canonical: fst < snd, sorted lexicographically *)
+  adj_off : int array; (* length n + 1 *)
+  adj : int array; (* neighbor ids, sorted within each row *)
+  adj_edge : int array; (* edge index parallel to [adj] *)
+}
+
+let n g = g.n
+let m g = Array.length g.edges
+
+let canonical (u, v) = if u < v then (u, v) else (v, u)
+
+let of_array ~n edges =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  let edges = Array.map canonical edges in
+  Array.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Graph.create: self loop";
+      if u < 0 || v >= n then invalid_arg "Graph.create: endpoint out of range")
+    edges;
+  Array.sort compare edges;
+  let dup = ref false in
+  Array.iteri (fun i e -> if i > 0 && edges.(i - 1) = e then dup := true) edges;
+  if !dup then invalid_arg "Graph.create: duplicate edge";
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    adj_off.(v + 1) <- adj_off.(v) + deg.(v)
+  done;
+  let total = adj_off.(n) in
+  let adj = Array.make total 0 and adj_edge = Array.make total 0 in
+  let cursor = Array.copy adj_off in
+  Array.iteri
+    (fun e (u, v) ->
+      adj.(cursor.(u)) <- v;
+      adj_edge.(cursor.(u)) <- e;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      adj_edge.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  (* Rows are already sorted by neighbor id because edges are sorted
+     lexicographically on canonical endpoints only for the [u] side; sort
+     each row to make membership tests valid in all cases. *)
+  for v = 0 to n - 1 do
+    let lo = adj_off.(v) and hi = adj_off.(v + 1) in
+    let len = hi - lo in
+    if len > 1 then begin
+      let pairs = Array.init len (fun i -> (adj.(lo + i), adj_edge.(lo + i))) in
+      Array.sort compare pairs;
+      Array.iteri
+        (fun i (w, e) ->
+          adj.(lo + i) <- w;
+          adj_edge.(lo + i) <- e)
+        pairs
+    end
+  done;
+  { n; edges; adj_off; adj; adj_edge }
+
+let create ~n edges = of_array ~n (Array.of_list edges)
+let degree g v = g.adj_off.(v + 1) - g.adj_off.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let avg_degree g = if g.n = 0 then 0. else 2. *. float_of_int (m g) /. float_of_int g.n
+
+(* Binary search for [w] in the adjacency row of [v]; returns the
+   position in [adj] or -1. *)
+let find_pos g v w =
+  let lo = ref g.adj_off.(v) and hi = ref (g.adj_off.(v + 1) - 1) in
+  let pos = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.adj.(mid) in
+    if x = w then begin
+      pos := mid;
+      lo := !hi + 1
+    end
+    else if x < w then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !pos
+
+let mem_edge g u v = u <> v && find_pos g u v >= 0
+
+let edge_index g u v =
+  if u = v then None
+  else
+    let pos = find_pos g u v in
+    if pos < 0 then None else Some g.adj_edge.(pos)
+
+let edge_endpoints g e = g.edges.(e)
+
+let neighbors g v =
+  Array.sub g.adj g.adj_off.(v) (degree g v)
+
+let iter_neighbors g v f =
+  for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let fold_neighbors g v f init =
+  let acc = ref init in
+  iter_neighbors g v (fun w -> acc := f !acc w);
+  !acc
+
+let iter_incident_edges g v f =
+  for i = g.adj_off.(v) to g.adj_off.(v + 1) - 1 do
+    f g.adj_edge.(i) g.adj.(i)
+  done
+
+let iter_edges g f = Array.iteri (fun e (u, v) -> f e u v) g.edges
+let edges g = Array.copy g.edges
+
+let common_neighbors g u v =
+  (* merge the two sorted rows *)
+  let i = ref g.adj_off.(u) and j = ref g.adj_off.(v) in
+  let iu = g.adj_off.(u + 1) and jv = g.adj_off.(v + 1) in
+  let out = ref [] in
+  while !i < iu && !j < jv do
+    let a = g.adj.(!i) and b = g.adj.(!j) in
+    if a = b then begin
+      out := a :: !out;
+      incr i;
+      incr j
+    end
+    else if a < b then incr i
+    else incr j
+  done;
+  List.rev !out
+
+let induced g nodes =
+  let nodes = List.sort_uniq compare nodes in
+  let back = Array.of_list nodes in
+  let fwd = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      iter_neighbors g v (fun w ->
+          if v < w then
+            match Hashtbl.find_opt fwd w with
+            | Some j -> edges := (i, j) :: !edges
+            | None -> ()))
+    back;
+  (create ~n:(Array.length back) !edges, back)
+
+let remove_nodes g dead =
+  let edges =
+    Array.to_list g.edges
+    |> List.filter (fun (u, v) -> (not dead.(u)) && not dead.(v))
+  in
+  create ~n:g.n edges
+
+let complement g =
+  let edges = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  create ~n:g.n !edges
+
+let equal a b = a.n = b.n && a.edges = b.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  iter_edges g (fun e u v -> Format.fprintf ppf "  e%d: %d -- %d@," e u v);
+  Format.fprintf ppf "@]"
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n";
+  for v = 0 to g.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  iter_edges g (fun _ u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

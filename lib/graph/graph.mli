@@ -1,0 +1,74 @@
+(** Immutable undirected graphs over nodes [0 .. n-1].
+
+    The representation is a compressed sparse-row adjacency structure:
+    neighbor lists are sorted arrays, so membership tests are logarithmic
+    and iteration is allocation-free.  Parallel edges and self loops are
+    rejected at construction time.  Every edge has a stable index in
+    [0 .. m-1]; the bi-directed view used by FDLSP is derived from edge
+    indices by {!Arc}. *)
+
+type t
+
+(** [create ~n edges] builds a graph with [n] nodes and the given
+    undirected [edges].  Raises [Invalid_argument] on self loops,
+    duplicate edges, or endpoints outside [0 .. n-1]. *)
+val create : n:int -> (int * int) list -> t
+
+(** [of_array ~n edges] is {!create} on an array of edges. *)
+val of_array : n:int -> (int * int) array -> t
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val avg_degree : t -> float
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency of [u] and [v]; [false] if [u = v]. *)
+
+val edge_index : t -> int -> int -> int option
+(** Stable index of edge [{u,v}] if present. *)
+
+val edge_endpoints : t -> int -> int * int
+(** [edge_endpoints g e] is the canonical [(u, v)] with [u < v] of edge
+    index [e]. *)
+
+val neighbors : t -> int -> int array
+(** Sorted neighbor array (a fresh copy). *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val iter_incident_edges : t -> int -> (int -> int -> unit) -> unit
+(** [iter_incident_edges g v f] calls [f e w] for every edge [e = {v,w}]
+    incident on [v]. *)
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f e u v] for every edge [e = {u,v}], [u < v]. *)
+
+val edges : t -> (int * int) array
+(** All edges in index order, canonical orientation. *)
+
+val common_neighbors : t -> int -> int -> int list
+(** Nodes adjacent to both arguments, ascending. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g nodes] is the sub-graph induced by [nodes] together with
+    the array mapping new node ids back to ids in [g]. *)
+
+val remove_nodes : t -> bool array -> t
+(** [remove_nodes g dead] keeps every node (ids are preserved) but drops
+    all edges incident on nodes [v] with [dead.(v)]. *)
+
+val complement : t -> t
+(** Complement graph (no self loops). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering, mostly for the CLI and debugging. *)

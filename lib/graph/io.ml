@@ -1,0 +1,48 @@
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun _ u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let meaningful =
+    List.filteri (fun _ _ -> true) lines
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  match meaningful with
+  | [] -> failwith "Io.of_string: empty input"
+  | (ln, header) :: rest -> (
+      let ints line s =
+        match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+        | parts -> (
+            try List.map int_of_string parts
+            with Failure _ -> failwith (Printf.sprintf "Io.of_string: line %d: bad integer" line))
+      in
+      match ints ln header with
+      | [ n; m ] ->
+          let edges =
+            List.map
+              (fun (l, s) ->
+                match ints l s with
+                | [ u; v ] -> (u, v)
+                | _ -> failwith (Printf.sprintf "Io.of_string: line %d: expected 'u v'" l))
+              rest
+          in
+          if List.length edges <> m then
+            failwith
+              (Printf.sprintf "Io.of_string: header says %d edges, found %d" m
+                 (List.length edges));
+          Graph.create ~n edges
+      | _ -> failwith (Printf.sprintf "Io.of_string: line %d: expected 'n m'" ln))
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,11 @@
+(** Plain-text graph exchange format used by the CLI and examples.
+
+    Line 1: [n m]; then [m] lines [u v], whitespace separated.  Lines
+    starting with ['#'] and blank lines are ignored. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val write_file : string -> Graph.t -> unit
+val read_file : string -> Graph.t

@@ -1,0 +1,73 @@
+type status = Optimal | Infeasible | Budget
+
+type result = {
+  status : status;
+  objective : float;
+  values : float array;
+  nodes : int;
+}
+
+let frac x = abs_float (x -. Float.round x)
+
+let unit_row n i v =
+  let row = Array.make n 0. in
+  row.(i) <- 1.;
+  (row, Lp.Eq, v)
+
+let solve ?(max_nodes = 200_000) ?(integral_objective = true) (problem : Lp.problem) =
+  let n = Array.length problem.Lp.objective in
+  let upper_bounds =
+    List.init n (fun i ->
+        let row = Array.make n 0. in
+        row.(i) <- 1.;
+        (row, Lp.Le, 1.))
+  in
+  let base = { problem with Lp.constraints = problem.Lp.constraints @ upper_bounds } in
+  let best = ref infinity in
+  let best_values = ref None in
+  let nodes = ref 0 in
+  let exception Out_of_budget in
+  let rec branch fixes =
+    incr nodes;
+    if !nodes > max_nodes then raise Out_of_budget;
+    let prob = { base with Lp.constraints = base.Lp.constraints @ fixes } in
+    match Lp.solve prob with
+    | Lp.Infeasible -> ()
+    | Lp.Unbounded -> failwith "Ilp.solve: relaxation unbounded on a bounded 0/1 problem"
+    | Lp.Optimal { objective_value; values } ->
+        let bound =
+          if integral_objective then ceil (objective_value -. 1e-6) else objective_value
+        in
+        if bound < !best -. 1e-6 then begin
+          (* most fractional variable *)
+          let pick = ref (-1) and worst = ref 1e-6 in
+          Array.iteri
+            (fun i v ->
+              if frac v > !worst then begin
+                worst := frac v;
+                pick := i
+              end)
+            values;
+          if !pick < 0 then begin
+            (* integral solution *)
+            best := objective_value;
+            best_values := Some (Array.map Float.round values)
+          end
+          else begin
+            let i = !pick in
+            (* explore the rounding nearest the relaxation first *)
+            let first, second = if values.(i) >= 0.5 then (1., 0.) else (0., 1.) in
+            branch (unit_row n i first :: fixes);
+            branch (unit_row n i second :: fixes)
+          end
+        end
+  in
+  let status =
+    try
+      branch [];
+      if !best_values = None then Infeasible else Optimal
+    with Out_of_budget -> Budget
+  in
+  match !best_values with
+  | Some values -> { status; objective = !best; values; nodes = !nodes }
+  | None -> { status; objective = infinity; values = [||]; nodes = !nodes }

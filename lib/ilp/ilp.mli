@@ -1,0 +1,23 @@
+(** 0/1 integer programming by LP-relaxation branch and bound.
+
+    All variables are binary.  Depth-first branching on the most
+    fractional variable, integral-objective rounding for pruning.
+    Designed for the Table-1-sized FDLSP models of {!Model}. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Budget  (** node budget exhausted; [objective]/[values] = best found, if any *)
+
+type result = {
+  status : status;
+  objective : float;  (** meaningful for [Optimal], or best incumbent under [Budget] *)
+  values : float array;  (** 0/1 assignment *)
+  nodes : int;  (** branch-and-bound nodes solved *)
+}
+
+val solve : ?max_nodes:int -> ?integral_objective:bool -> Lp.problem -> result
+(** [integral_objective] (default true) lets the solver round LP bounds
+    up when pruning.  Bound constraints [x_i <= 1] are added internally;
+    callers state only the combinatorial rows.  [max_nodes] defaults to
+    200_000. *)

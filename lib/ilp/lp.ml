@@ -1,0 +1,213 @@
+type cmp = Le | Ge | Eq
+
+type problem = {
+  objective : float array;
+  constraints : (float array * cmp * float) list;
+}
+
+type solution = { objective_value : float; values : float array }
+type result = Optimal of solution | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: [m] constraint rows over [total] columns of
+   structural + slack/surplus + artificial variables, one rhs column.
+   [basis.(r)] is the variable basic in row [r].  The objective row is
+   kept separately in reduced-cost form. *)
+type tableau = {
+  m : int;
+  total : int;
+  a : float array array; (* m rows, total columns *)
+  rhs : float array;
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let pr = t.a.(row) in
+  let p = pr.(col) in
+  for j = 0 to t.total - 1 do
+    pr.(j) <- pr.(j) /. p
+  done;
+  t.rhs.(row) <- t.rhs.(row) /. p;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if abs_float f > eps then begin
+        let ri = t.a.(i) in
+        for j = 0 to t.total - 1 do
+          ri.(j) <- ri.(j) -. (f *. pr.(j))
+        done;
+        t.rhs.(i) <- t.rhs.(i) -. (f *. t.rhs.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Price out the objective [c] over the current basis: returns the
+   reduced-cost row and the current objective value. *)
+let reduced_costs t c =
+  let z = ref 0. in
+  let red = Array.copy c in
+  for r = 0 to t.m - 1 do
+    let cb = c.(t.basis.(r)) in
+    if abs_float cb > eps then begin
+      z := !z +. (cb *. t.rhs.(r));
+      let row = t.a.(r) in
+      for j = 0 to t.total - 1 do
+        red.(j) <- red.(j) -. (cb *. row.(j))
+      done
+    end
+  done;
+  (red, !z)
+
+(* Simplex iterations on the given objective; [allowed j] masks out
+   columns (used to keep artificials from re-entering in phase 2).
+   Pricing is Dantzig (most negative reduced cost) for speed, falling
+   back to Bland's rule after a stretch of non-improving pivots so
+   degenerate cycling cannot occur.  Returns [`Optimal] or
+   [`Unbounded]. *)
+let iterate t c ~allowed =
+  let stall = ref 0 in
+  let rec loop guard last_z =
+    if guard > 500_000 then failwith "Lp.solve: iteration limit";
+    let red, z = reduced_costs t c in
+    if z < last_z -. 1e-12 then stall := 0 else incr stall;
+    let enter = ref (-1) in
+    if !stall > 200 then (
+      (* Bland: smallest eligible index *)
+      try
+        for j = 0 to t.total - 1 do
+          if allowed j && red.(j) < -.eps then begin
+            enter := j;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    else begin
+      (* Dantzig: most negative reduced cost *)
+      let best = ref (-.eps) in
+      for j = 0 to t.total - 1 do
+        if allowed j && red.(j) < !best then begin
+          best := red.(j);
+          enter := j
+        end
+      done
+    end;
+    if !enter < 0 then `Optimal
+    else begin
+      let col = !enter in
+      (* leaving row: min ratio, ties by smallest basis variable *)
+      let row = ref (-1) and best = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.rhs.(i) /. aij in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps && (!row < 0 || t.basis.(i) < t.basis.(!row)))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!row ~col;
+        loop (guard + 1) z
+      end
+    end
+  in
+  loop 0 infinity
+
+let solve { objective; constraints } =
+  let n = Array.length objective in
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> n then invalid_arg "Lp.solve: row length mismatch")
+    constraints;
+  let cons =
+    (* make every rhs non-negative *)
+    List.map
+      (fun (row, cmp, b) ->
+        if b < 0. then
+          ( Array.map (fun x -> -.x) row,
+            (match cmp with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (row, cmp, b))
+      constraints
+  in
+  let m = List.length cons in
+  let n_slack =
+    List.fold_left (fun acc (_, cmp, _) -> acc + match cmp with Eq -> 0 | Le | Ge -> 1) 0 cons
+  in
+  let n_art =
+    List.fold_left (fun acc (_, cmp, _) -> acc + match cmp with Le -> 0 | Ge | Eq -> 1) 0 cons
+  in
+  let total = n + n_slack + n_art in
+  let a = Array.init m (fun _ -> Array.make total 0.) in
+  let rhs = Array.make m 0. in
+  let basis = Array.make m (-1) in
+  let slack_base = n and art_base = n + n_slack in
+  let next_slack = ref 0 and next_art = ref 0 in
+  List.iteri
+    (fun i (row, cmp, b) ->
+      Array.blit row 0 a.(i) 0 n;
+      rhs.(i) <- b;
+      (match cmp with
+      | Le ->
+          a.(i).(slack_base + !next_slack) <- 1.;
+          basis.(i) <- slack_base + !next_slack;
+          incr next_slack
+      | Ge ->
+          a.(i).(slack_base + !next_slack) <- -1.;
+          incr next_slack;
+          a.(i).(art_base + !next_art) <- 1.;
+          basis.(i) <- art_base + !next_art;
+          incr next_art
+      | Eq ->
+          a.(i).(art_base + !next_art) <- 1.;
+          basis.(i) <- art_base + !next_art;
+          incr next_art))
+    cons;
+  let t = { m; total; a; rhs; basis } in
+  (* phase 1: minimize the artificial sum *)
+  if n_art > 0 then begin
+    let c1 = Array.make total 0. in
+    for j = art_base to total - 1 do
+      c1.(j) <- 1.
+    done;
+    (match iterate t c1 ~allowed:(fun _ -> true) with
+    | `Unbounded -> failwith "Lp.solve: phase-1 unbounded (impossible)"
+    | `Optimal -> ());
+    let _, z1 = reduced_costs t c1 in
+    if z1 > 1e-6 then raise Exit
+  end;
+  (* drive any remaining artificial variables out of the basis *)
+  for r = 0 to m - 1 do
+    if t.basis.(r) >= art_base then begin
+      let found = ref false in
+      for j = 0 to art_base - 1 do
+        if (not !found) && abs_float t.a.(r).(j) > 1e-7 then begin
+          pivot t ~row:r ~col:j;
+          found := true
+        end
+      done
+      (* a row with no structural entry is redundant; its artificial
+         stays basic at value 0, which is harmless *)
+    end
+  done;
+  (* phase 2 *)
+  let c2 = Array.make total 0. in
+  Array.blit objective 0 c2 0 n;
+  match iterate t c2 ~allowed:(fun j -> j < art_base) with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let values = Array.make n 0. in
+      for r = 0 to m - 1 do
+        if t.basis.(r) < n then values.(t.basis.(r)) <- t.rhs.(r)
+      done;
+      let _, z = reduced_costs t c2 in
+      Optimal { objective_value = z; values }
+
+let solve p = try solve p with Exit -> Infeasible

@@ -1,0 +1,23 @@
+(** A small dense linear-programming solver: two-phase primal simplex
+    with Bland's rule.
+
+    No LP solver ships in this environment, and the paper's Section 4
+    evaluates an ILP on small instances, so we build the substrate from
+    scratch.  Minimization form: variables are non-negative, constraints
+    are [row . x (<=|>=|=) rhs].  Dense tableaus — intended for the
+    hundreds-of-rows problems the FDLSP ILP produces on Table-1-sized
+    graphs, not for large-scale use. *)
+
+type cmp = Le | Ge | Eq
+
+type problem = {
+  objective : float array;  (** minimized *)
+  constraints : (float array * cmp * float) list;
+}
+
+type solution = { objective_value : float; values : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+val solve : problem -> result
+(** Raises [Invalid_argument] on dimension mismatches. *)

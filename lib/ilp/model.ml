@@ -1,0 +1,128 @@
+open Fdlsp_graph
+open Fdlsp_color
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let norm a b = if a < b then (a, b) else (b, a)
+
+let paper_pairs g =
+  let pairs = ref Pair_set.empty in
+  let add a b = if a <> b then pairs := Pair_set.add (norm a b) !pairs in
+  (* (2) hidden terminal: for every edge (u,v), an arc into u may not
+     share a color with an arc out of v *)
+  Graph.iter_edges g (fun _ cu cv ->
+      List.iter
+        (fun (u, v) ->
+          Arc.iter_in g u (fun a -> Arc.iter_out g v (fun b -> add a b)))
+        [ (cu, cv); (cv, cu) ]);
+  for u = 0 to Graph.n g - 1 do
+    (* (4) two outgoing arcs of u *)
+    Arc.iter_out g u (fun a -> Arc.iter_out g u (fun b -> add a b));
+    (* (5) an outgoing and an incoming arc at u *)
+    Arc.iter_out g u (fun a -> Arc.iter_in g u (fun b -> add a b));
+    (* (6) two incoming arcs of u *)
+    Arc.iter_in g u (fun a -> Arc.iter_in g u (fun b -> add a b))
+  done;
+  Pair_set.elements !pairs
+
+let build g ~max_colors =
+  let arcs = Arc.count g in
+  let nvars = (arcs * max_colors) + max_colors in
+  let x a j = (a * max_colors) + j in
+  let c j = (arcs * max_colors) + j in
+  let objective = Array.make nvars 0. in
+  for j = 0 to max_colors - 1 do
+    objective.(c j) <- 1.
+  done;
+  let constraints = ref [] in
+  let row pairs cmp rhs =
+    let r = Array.make nvars 0. in
+    List.iter (fun (i, v) -> r.(i) <- v) pairs;
+    constraints := (r, cmp, rhs) :: !constraints
+  in
+  (* (3) each arc gets exactly one color *)
+  Arc.iter g (fun a ->
+      let r = Array.make nvars 0. in
+      for j = 0 to max_colors - 1 do
+        r.(x a j) <- 1.
+      done;
+      constraints := (r, Lp.Eq, 1.) :: !constraints);
+  (* (1)+(4)+(5)+(6), strengthened: all arcs incident on a node are
+     pairwise conflicting (they share that node), so they form a clique
+     of the conflict graph and  sum_{a at v} X_{a,j} <= C_j  is valid.
+     It implies the paper's pairwise rows for node-sharing pairs and its
+     X <= C rows, while giving the LP relaxation an integral-strength
+     bound of 2*delta (without it branch and bound is hopeless - the
+     relaxation can spread every arc evenly over the palette). *)
+  let emitted = Hashtbl.create 16 in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v > 0 then begin
+      let clique = ref [] in
+      Arc.iter_incident g v (fun a -> clique := a :: !clique);
+      (* greedily extend with any arc conflicting with the whole clique
+         (e.g. on complete graphs this reaches every arc), tightening
+         the relaxation further at no soundness cost *)
+      Arc.iter g (fun b ->
+          if
+            (not (List.mem b !clique))
+            && List.for_all (fun a -> Conflict.conflict g a b) !clique
+          then clique := b :: !clique);
+      let key = List.sort compare !clique in
+      if not (Hashtbl.mem emitted key) then begin
+        Hashtbl.replace emitted key ();
+        for j = 0 to max_colors - 1 do
+          let r = Array.make nvars 0. in
+          List.iter (fun a -> r.(x a j) <- 1.) !clique;
+          r.(c j) <- -1.;
+          constraints := (r, Lp.Le, 0.) :: !constraints
+        done
+      end
+    end
+  done;
+  (* (2): the remaining (hidden terminal) pairs - node-sharing pairs are
+     already implied by the clique rows above *)
+  List.iter
+    (fun (a, b) ->
+      let share_endpoint =
+        let ta = Arc.tail g a and ha = Arc.head g a in
+        let tb = Arc.tail g b and hb = Arc.head g b in
+        ta = tb || ta = hb || ha = tb || ha = hb
+      in
+      if not share_endpoint then
+        for j = 0 to max_colors - 1 do
+          row [ (x a j, 1.); (x b j, 1.) ] Lp.Le 1.
+        done)
+    (paper_pairs g);
+  (* symmetry breaking: colors are used in index order *)
+  for j = 0 to max_colors - 2 do
+    row [ (c j, 1.); (c (j + 1), -1.) ] Lp.Ge 0.
+  done;
+  { Lp.objective; constraints = List.rev !constraints }
+
+type solution = { slots : int; schedule : Schedule.t; nodes : int }
+
+let solve ?max_colors ?max_nodes g =
+  if Graph.m g = 0 then
+    Some { slots = 0; schedule = Schedule.make g; nodes = 0 }
+  else begin
+    let max_colors =
+      match max_colors with
+      | Some k -> k
+      | None -> Schedule.max_color (Greedy.color g) + 1
+    in
+    let problem = build g ~max_colors in
+    let r = Ilp.solve ?max_nodes problem in
+    match r.Ilp.status with
+    | Ilp.Budget | Ilp.Infeasible -> None
+    | Ilp.Optimal ->
+        let sched = Schedule.make g in
+        Arc.iter g (fun a ->
+            for j = 0 to max_colors - 1 do
+              if r.Ilp.values.((a * max_colors) + j) > 0.5 then Schedule.set sched a j
+            done);
+        Some { slots = int_of_float (Float.round r.Ilp.objective); schedule = sched; nodes = r.Ilp.nodes }
+  end

@@ -1,0 +1,37 @@
+(** The paper's ILP formulation of FDLSP (Section 4).
+
+    Variables: [X_{a,j}] (arc [a] gets color [j]) and [C_j] (color [j]
+    is used); objective: minimize [sum C_j].  Constraints (1)–(6):
+    (1) [X_{a,j} <= C_j]; (3) every arc gets exactly one color;
+    (2),(4),(5),(6) forbid equal colors on hidden-terminal pairs, two
+    outgoing arcs at a node, an outgoing/incoming pair at a node, and
+    two incoming arcs at a node, respectively — together these four
+    families are exactly the conflict relation of
+    {!Fdlsp_color.Conflict} on distinct arc pairs ({!paper_pairs} exists
+    so the test suite can verify that equivalence).  A symmetry-breaking
+    row [C_j >= C_{j+1}] (colors used in order) is added: it changes no
+    optimum and tames branch and bound. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+
+val paper_pairs : Graph.t -> (Arc.id * Arc.id) list
+(** All unordered arc pairs produced by constraint families (2), (4),
+    (5), (6), deduplicated, ascending. *)
+
+val build : Graph.t -> max_colors:int -> Lp.problem
+(** The full 0/1 model with palette [0 .. max_colors-1].  Variable
+    layout: [X_{a,j}] at index [a * max_colors + j], [C_j] at
+    [2m * max_colors + j]. *)
+
+type solution = {
+  slots : int;
+  schedule : Schedule.t;
+  nodes : int;  (** branch-and-bound nodes *)
+}
+
+val solve : ?max_colors:int -> ?max_nodes:int -> Graph.t -> solution option
+(** Solve FDLSP to optimality via the ILP.  [max_colors] defaults to
+    the greedy upper bound (always feasible); [None] when the node
+    budget runs out.  Only use on Table-1-sized instances — the DSATUR
+    solver in {!Fdlsp_color.Dsatur} is the fast exact path. *)

@@ -1,0 +1,135 @@
+open Fdlsp_graph
+
+type delay = Unit | Uniform of Random.State.t * float * float
+
+(* --- binary min-heap of events, keyed by (time, seq) for determinism --- *)
+module Heap = struct
+  type 'a t = { mutable data : (float * int * 'a) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0., 0, Obj.magic 0); size = 0 }
+  let is_empty h = h.size = 0
+  let lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let push h time seq payload =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) h.data.(0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (time, seq, payload);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && lt h.data.(!i) h.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(p);
+      h.data.(p) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+type 'msg event = Deliver of { src : int; dst : int; payload : 'msg }
+
+type 'msg engine = {
+  g : Graph.t;
+  heap : 'msg event Heap.t;
+  delay : delay;
+  weight : 'msg -> int;
+  mutable seq : int;
+  mutable clock : float;
+  mutable sent : int;
+  mutable volume : int;
+  (* FIFO guarantee: next admissible delivery time per directed channel *)
+  channel_front : (int * int, float) Hashtbl.t;
+}
+
+type 'msg ctx = { engine : 'msg engine; node : int }
+
+let self c = c.node
+let neighbors c = Graph.neighbors c.engine.g c.node
+let now c = c.engine.clock
+
+let draw_delay e =
+  match e.delay with
+  | Unit -> 1.
+  | Uniform (rng, lo, hi) ->
+      if lo <= 0. || hi < lo then invalid_arg "Async: bad delay bounds";
+      lo +. Random.State.float rng (hi -. lo)
+
+let send c dst payload =
+  let e = c.engine in
+  if not (Graph.mem_edge e.g c.node dst) then
+    invalid_arg
+      (Printf.sprintf "Async.send: node %d sent to non-neighbor %d" c.node dst);
+  let arrival = e.clock +. draw_delay e in
+  let key = (c.node, dst) in
+  let arrival =
+    match Hashtbl.find_opt e.channel_front key with
+    | Some front when front > arrival -> front
+    | _ -> arrival
+  in
+  Hashtbl.replace e.channel_front key arrival;
+  e.sent <- e.sent + 1;
+  e.volume <- e.volume + max 1 (e.weight payload);
+  Heap.push e.heap arrival e.seq (Deliver { src = c.node; dst; payload });
+  e.seq <- e.seq + 1
+
+type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
+
+exception Too_many_events of int
+
+let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) g ~init ~starts
+    ~handler =
+  let engine =
+    {
+      g;
+      heap = Heap.create ();
+      delay;
+      weight;
+      seq = 0;
+      clock = 0.;
+      sent = 0;
+      volume = 0;
+      channel_front = Hashtbl.create 64;
+    }
+  in
+  let states = Array.init (Graph.n g) init in
+  List.iter
+    (fun (v, action) -> states.(v) <- action { engine; node = v } states.(v))
+    starts;
+  let events = ref 0 in
+  while not (Heap.is_empty engine.heap) do
+    incr events;
+    if !events > max_events then raise (Too_many_events max_events);
+    let time, _, Deliver { src; dst; payload } = Heap.pop engine.heap in
+    engine.clock <- time;
+    states.(dst) <- handler { engine; node = dst } states.(dst) ~sender:src payload
+  done;
+  ( states,
+    {
+      Stats.rounds = int_of_float (ceil engine.clock);
+      messages = engine.sent;
+      volume = engine.volume;
+    } )

@@ -1,0 +1,49 @@
+(** Asynchronous message-passing engine (the model of Section 7).
+
+    Event-driven execution: messages arrive after a per-hop delay
+    (deterministic unit delay by default, or uniformly random in
+    [lo, hi] to model asynchrony), channels are FIFO, and a node handles
+    one message at a time.  The reported "rounds" figure is the
+    completion time of the last delivery rounded up — with unit delays
+    this is the longest causal chain, matching the paper's asynchronous
+    time unit. *)
+
+open Fdlsp_graph
+
+type delay =
+  | Unit  (** every hop takes exactly 1 time unit *)
+  | Uniform of Random.State.t * float * float
+      (** uniform in [lo, hi] with [0 < lo <= hi]; delays bounded by 1
+          recover the classic normalized asynchronous time measure *)
+
+type 'msg ctx
+
+val self : 'msg ctx -> int
+val neighbors : 'msg ctx -> int array
+
+val send : 'msg ctx -> int -> 'msg -> unit
+(** Only to neighbors; raises [Invalid_argument] otherwise. *)
+
+val now : 'msg ctx -> float
+
+type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
+(** Called once per delivered message; may {!send} further messages. *)
+
+exception Too_many_events of int
+
+val run :
+  ?delay:delay ->
+  ?max_events:int ->
+  ?weight:('msg -> int) ->
+  Graph.t ->
+  init:(int -> 'state) ->
+  starts:(int * ('msg ctx -> 'state -> 'state)) list ->
+  handler:('state, 'msg) handler ->
+  'state array * Stats.t
+(** [starts] lists [(node, action)] spontaneous wake-ups executed at
+    time 0 (e.g. the DFS root injecting the token).  [max_events]
+    defaults to [1_000_000]; exceeding it raises {!Too_many_events}.
+    [weight] gives a message's payload size for the [volume] statistic
+    (default 1, clamped to at least 1).
+    Returns final states and stats ([rounds] = ceiling of completion
+    time, [messages] = messages delivered). *)

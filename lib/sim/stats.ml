@@ -1,0 +1,17 @@
+type t = { rounds : int; messages : int; volume : int }
+
+let zero = { rounds = 0; messages = 0; volume = 0 }
+
+let add a b =
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    volume = a.volume + b.volume;
+  }
+
+let scale_rounds k s =
+  { rounds = k * s.rounds; messages = k * s.messages; volume = k * s.volume }
+
+let pp ppf s =
+  Format.fprintf ppf "%d rounds, %d messages, %d payload entries" s.rounds s.messages
+    s.volume

@@ -1,0 +1,22 @@
+(** Communication accounting shared by the synchronous and asynchronous
+    engines.  [rounds] is the paper's time-complexity unit: lock-step
+    rounds for the synchronous model, elapsed unit-delay time for the
+    asynchronous model.  [messages] counts every point-to-point message
+    sent. *)
+
+type t = {
+  rounds : int;
+  messages : int;
+  volume : int;  (** total payload entries across all messages: a table
+                     of k entries counts k (min 1 per message) *)
+}
+
+val zero : t
+val add : t -> t -> t
+
+val scale_rounds : int -> t -> t
+(** [scale_rounds k s] multiplies both rounds and messages by [k] — used
+    when one virtual round is emulated by [k] physical rounds (e.g. the
+    distance-3 competition of DistMIS). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Fdlsp_graph
+
+type 'msg outcome = Continue of (int * 'msg) list | Halt of (int * 'msg) list
+
+type ('state, 'msg) step =
+  round:int -> int -> 'state -> (int * 'msg) list -> 'state * 'msg outcome
+
+exception Did_not_terminate of int
+
+let run ?max_rounds ?(weight = fun _ -> 1) g ~init ~step =
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let states = Array.init n (fun v -> fst (init v)) in
+  let live = Array.init n (fun v -> snd (init v)) in
+  let inboxes : (int * 'msg) list array = Array.make n [] in
+  let next_inboxes : (int * 'msg) list array = Array.make n [] in
+  let messages = ref 0 in
+  let volume = ref 0 in
+  let rounds = ref 0 in
+  let any_live () = Array.exists Fun.id live in
+  while any_live () do
+    if !rounds >= max_rounds then raise (Did_not_terminate max_rounds);
+    incr rounds;
+    Array.fill next_inboxes 0 n [];
+    for v = 0 to n - 1 do
+      if live.(v) then begin
+        (* deliver in sender order for determinism *)
+        let inbox = List.sort compare (inboxes.(v)) in
+        let state, outcome = step ~round:!rounds v states.(v) inbox in
+        states.(v) <- state;
+        let outgoing =
+          match outcome with
+          | Continue msgs -> msgs
+          | Halt msgs ->
+              live.(v) <- false;
+              msgs
+        in
+        List.iter
+          (fun (dest, payload) ->
+            if not (Graph.mem_edge g v dest) then
+              invalid_arg
+                (Printf.sprintf "Sync.run: node %d sent to non-neighbor %d" v dest);
+            incr messages;
+            volume := !volume + max 1 (weight payload);
+            next_inboxes.(dest) <- (v, payload) :: next_inboxes.(dest))
+          outgoing
+      end
+    done;
+    Array.blit next_inboxes 0 inboxes 0 n
+  done;
+  (states, { Stats.rounds = !rounds; messages = !messages; volume = !volume })

@@ -1,0 +1,37 @@
+(** Synchronous message-passing engine (the model of Sections 5–6).
+
+    In each round every live node receives the messages sent to it in
+    the previous round, computes, and sends at most one message per
+    incident link.  The engine enforces locality: a node may only send
+    to its graph neighbors.  Execution ends when every node has halted
+    (or [max_rounds] is hit, which raises). *)
+
+open Fdlsp_graph
+
+type 'msg outcome =
+  | Continue of (int * 'msg) list  (** messages to send: [(neighbor, payload)] *)
+  | Halt of (int * 'msg) list  (** send these and stop participating *)
+
+type ('state, 'msg) step = round:int -> int -> 'state -> (int * 'msg) list -> 'state * 'msg outcome
+(** [step ~round v state inbox]: [inbox] is the list of [(sender,
+    payload)] received this round.  Purely local: implementations must
+    only look at [v]'s own state and inbox. *)
+
+exception Did_not_terminate of int
+(** Raised with [max_rounds] when the protocol fails to halt. *)
+
+val run :
+  ?max_rounds:int ->
+  ?weight:('msg -> int) ->
+  Graph.t ->
+  init:(int -> 'state * bool) ->
+  step:('state, 'msg) step ->
+  'state array * Stats.t
+(** [init v] gives the initial state and whether the node participates
+    at all ([false] = halted from the start, e.g. nodes outside the
+    residual graph).  Halted nodes never step; messages sent to them are
+    delivered into the void (counted, dropped).  [max_rounds] defaults
+    to [10_000 + 100 * n].  [weight] gives a message's payload size for
+    the [volume] statistic (default 1; clamped to at least 1).  Returns
+    final states and stats; the round count is the number of rounds
+    until the last node halts. *)

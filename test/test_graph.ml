@@ -1,0 +1,413 @@
+(* Tests for the graph substrate: construction, accessors, generators,
+   traversals, cliques, and the bi-directed arc view. *)
+
+open Fdlsp_graph
+
+let rng () = Random.State.make [| 0xF0D5; 42 |]
+
+(* ------------------------------------------------------------------ *)
+(* Generators for qcheck properties                                    *)
+(* ------------------------------------------------------------------ *)
+
+let arb_gnp ?(max_n = 24) () =
+  let gen st =
+    let n = 1 + Random.State.int st max_n in
+    let p = Random.State.float st 1. in
+    Gen.gnp st ~n ~p
+  in
+  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+
+let qtest name ?(count = 100) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_basic () =
+  let g = Graph.create ~n:4 [ (0, 1); (1, 2); (3, 1) ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 3 (Graph.m g);
+  Alcotest.(check int) "deg 1" 3 (Graph.degree g 1);
+  Alcotest.(check int) "deg 0" 1 (Graph.degree g 0);
+  Alcotest.(check int) "deg 2" 1 (Graph.degree g 2);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree g);
+  Alcotest.(check bool) "mem 0 1" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "mem 1 0" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "mem 0 2" false (Graph.mem_edge g 0 2);
+  Alcotest.(check bool) "no self" false (Graph.mem_edge g 1 1)
+
+let test_create_rejects () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self loop") (fun () ->
+      ignore (Graph.create ~n:2 [ (1, 1) ]));
+  Alcotest.check_raises "dup" (Invalid_argument "Graph.create: duplicate edge") (fun () ->
+      ignore (Graph.create ~n:3 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "range" (Invalid_argument "Graph.create: endpoint out of range")
+    (fun () -> ignore (Graph.create ~n:2 [ (0, 2) ]))
+
+let test_empty () =
+  let g = Graph.create ~n:0 [] in
+  Alcotest.(check int) "n" 0 (Graph.n g);
+  Alcotest.(check int) "m" 0 (Graph.m g);
+  Alcotest.(check int) "max degree" 0 (Graph.max_degree g)
+
+let test_neighbors_sorted () =
+  let g = Graph.create ~n:5 [ (3, 1); (1, 0); (4, 1); (1, 2) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 2; 3; 4 |] (Graph.neighbors g 1)
+
+let test_edge_index () =
+  let g = Graph.create ~n:4 [ (2, 3); (0, 1) ] in
+  (match Graph.edge_index g 1 0 with
+  | Some e ->
+      let u, v = Graph.edge_endpoints g e in
+      Alcotest.(check (pair int int)) "endpoints canonical" (0, 1) (u, v)
+  | None -> Alcotest.fail "edge 0-1 missing");
+  Alcotest.(check bool) "absent" true (Graph.edge_index g 0 2 = None)
+
+let test_common_neighbors () =
+  let g = Gen.complete 5 in
+  Alcotest.(check (list int)) "K5 common" [ 2; 3; 4 ] (Graph.common_neighbors g 0 1);
+  let p = Gen.path 5 in
+  Alcotest.(check (list int)) "path common" [] (Graph.common_neighbors p 0 1);
+  Alcotest.(check (list int)) "path ends" [ 1 ] (Graph.common_neighbors p 0 2)
+
+let test_induced () =
+  let g = Gen.complete 5 in
+  let sub, back = Graph.induced g [ 0; 2; 4 ] in
+  Alcotest.(check int) "n" 3 (Graph.n sub);
+  Alcotest.(check int) "m" 3 (Graph.m sub);
+  Alcotest.(check (array int)) "back map" [| 0; 2; 4 |] back
+
+let test_remove_nodes () =
+  let g = Gen.complete 4 in
+  let dead = [| false; true; false; false |] in
+  let g' = Graph.remove_nodes g dead in
+  Alcotest.(check int) "same node count" 4 (Graph.n g');
+  Alcotest.(check int) "edges drop" 3 (Graph.m g');
+  Alcotest.(check int) "isolated" 0 (Graph.degree g' 1)
+
+let test_complement () =
+  let g = Gen.path 4 in
+  let c = Graph.complement g in
+  Alcotest.(check int) "m" 3 (Graph.m c);
+  Alcotest.(check bool) "0-2" true (Graph.mem_edge c 0 2);
+  Alcotest.(check bool) "0-1 gone" false (Graph.mem_edge c 0 1)
+
+let prop_degree_sum =
+  qtest "sum of degrees = 2m" (arb_gnp ()) (fun g ->
+      let total = ref 0 in
+      for v = 0 to Graph.n g - 1 do
+        total := !total + Graph.degree g v
+      done;
+      !total = 2 * Graph.m g)
+
+let prop_mem_edge_symmetric =
+  qtest "mem_edge symmetric and matches edge list" (arb_gnp ()) (fun g ->
+      let ok = ref true in
+      for u = 0 to Graph.n g - 1 do
+        for v = 0 to Graph.n g - 1 do
+          if Graph.mem_edge g u v <> Graph.mem_edge g v u then ok := false
+        done
+      done;
+      Graph.iter_edges g (fun _ u v -> if not (Graph.mem_edge g u v) then ok := false);
+      !ok)
+
+let prop_complement_involution =
+  qtest "complement of complement" ~count:50 (arb_gnp ~max_n:12 ()) (fun g ->
+      Graph.equal g (Graph.complement (Graph.complement g)))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_shapes () =
+  Alcotest.(check int) "path m" 6 (Graph.m (Gen.path 7));
+  Alcotest.(check int) "cycle m" 7 (Graph.m (Gen.cycle 7));
+  Alcotest.(check int) "star m" 6 (Graph.m (Gen.star 7));
+  Alcotest.(check int) "K6 m" 15 (Graph.m (Gen.complete 6));
+  Alcotest.(check int) "K34 m" 12 (Graph.m (Gen.complete_bipartite 3 4));
+  Alcotest.(check int) "grid m" 12 (Graph.m (Gen.grid 3 3));
+  Alcotest.(check int) "grid deg center" 4 (Graph.degree (Gen.grid 3 3) 4)
+
+let test_gen_tree () =
+  let g = Gen.random_tree (rng ()) 40 in
+  Alcotest.(check int) "tree m" 39 (Graph.m g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g)
+
+let test_gen_gnm () =
+  let g = Gen.gnm (rng ()) ~n:30 ~m:100 in
+  Alcotest.(check int) "m exact" 100 (Graph.m g);
+  let dense = Gen.gnm (rng ()) ~n:10 ~m:44 in
+  Alcotest.(check int) "dense m exact" 44 (Graph.m dense);
+  let full = Gen.gnm (rng ()) ~n:10 ~m:45 in
+  Alcotest.(check int) "complete m" 45 (Graph.m full);
+  Alcotest.check_raises "too many" (Invalid_argument "Gen.gnm: edge count out of range")
+    (fun () -> ignore (Gen.gnm (rng ()) ~n:10 ~m:46))
+
+let test_gen_udg () =
+  let g, pts = Gen.udg (rng ()) ~n:120 ~side:10. ~radius:1.5 in
+  Alcotest.(check int) "n" 120 (Graph.n g);
+  (* cross-check the grid-bucketed construction against brute force *)
+  let brute = ref 0 in
+  Array.iteri
+    (fun i p ->
+      Array.iteri (fun j q -> if i < j && Geometry.dist p q <= 1.5 then incr brute) pts)
+    pts;
+  Alcotest.(check int) "udg matches brute force" !brute (Graph.m g)
+
+let test_udg_edges_radius_boundary () =
+  let pts = Geometry.[ { x = 0.; y = 0. }; { x = 1.; y = 0. }; { x = 0.; y = 1.0001 } ] in
+  let g = Geometry.udg (Array.of_list pts) ~radius:1.0 in
+  Alcotest.(check int) "only the exact-distance pair" 1 (Graph.m g);
+  Alcotest.(check bool) "0-1 in" true (Graph.mem_edge g 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs () =
+  let g = Gen.path 6 in
+  let d = Traversal.bfs_distances g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4; 5 |] d;
+  Alcotest.(check int) "pairwise" 3 (Traversal.distance g 1 4)
+
+let test_bfs_disconnected () =
+  let g = Graph.create ~n:4 [ (0, 1) ] in
+  let d = Traversal.bfs_distances g 0 in
+  Alcotest.(check bool) "unreachable" true (d.(2) = max_int);
+  Alcotest.(check bool) "distance inf" true (Traversal.distance g 0 3 = max_int);
+  let _, k = Traversal.components g in
+  Alcotest.(check int) "three components" 3 k;
+  Alcotest.(check bool) "not connected" false (Traversal.is_connected g)
+
+let test_within () =
+  let g = Gen.cycle 8 in
+  Alcotest.(check (list int)) "r=2 on C8" [ 1; 2; 6; 7 ] (Traversal.within g 0 2);
+  Alcotest.(check (list int)) "r=0" [] (Traversal.within g 0 0)
+
+let test_diameter () =
+  Alcotest.(check int) "path" 5 (Traversal.diameter (Gen.path 6));
+  Alcotest.(check int) "cycle" 4 (Traversal.diameter (Gen.cycle 8));
+  Alcotest.(check int) "complete" 1 (Traversal.diameter (Gen.complete 5))
+
+let test_dfs_preorder () =
+  let g = Gen.path 5 in
+  let order = Traversal.dfs_preorder g 2 ~next:(fun _ cands -> Some (List.hd cands)) in
+  Alcotest.(check (list int)) "walk" [ 2; 1; 0; 3; 4 ] order;
+  (* max-degree preference, as in Algorithm 2 *)
+  let h = Graph.create ~n:5 [ (0, 1); (0, 2); (2, 3); (2, 4) ] in
+  let next _ cands =
+    let best =
+      List.fold_left
+        (fun acc w ->
+          match acc with
+          | Some b when Graph.degree h b >= Graph.degree h w -> acc
+          | _ -> Some w)
+        None cands
+    in
+    best
+  in
+  let order = Traversal.dfs_preorder h 0 ~next in
+  Alcotest.(check (list int)) "prefers max degree" [ 0; 2; 3; 4; 1 ] order
+
+let prop_within_matches_bfs =
+  qtest "within = nodes with bfs distance in 1..r" (arb_gnp ()) (fun g ->
+      let ok = ref true in
+      for v = 0 to min 4 (Graph.n g - 1) do
+        let d = Traversal.bfs_distances g v in
+        for r = 0 to 3 do
+          let expect = ref [] in
+          Array.iteri (fun w dw -> if dw >= 1 && dw <= r then expect := w :: !expect) d;
+          if Traversal.within g v r <> List.sort compare !expect then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Cliques                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_triangles () =
+  Alcotest.(check int) "K4 triangles" 4 (Clique.triangle_count (Gen.complete 4));
+  Alcotest.(check int) "K5 triangles" 10 (Clique.triangle_count (Gen.complete 5));
+  Alcotest.(check int) "C5 triangles" 0 (Clique.triangle_count (Gen.cycle 5));
+  Alcotest.(check int) "K33 triangles" 0 (Clique.triangle_count (Gen.complete_bipartite 3 3));
+  let g = Gen.complete 4 in
+  Alcotest.(check int) "on edge" 2 (Clique.triangles_on_edge g 0 1)
+
+let test_max_clique () =
+  Alcotest.(check int) "K6" 6 (Clique.max_clique_size (Gen.complete 6));
+  Alcotest.(check int) "C7" 2 (Clique.max_clique_size (Gen.cycle 7));
+  Alcotest.(check int) "K33" 2 (Clique.max_clique_size (Gen.complete_bipartite 3 3));
+  Alcotest.(check int) "empty" 0 (Clique.max_clique_size (Graph.create ~n:0 []));
+  Alcotest.(check int) "isolated" 1 (Clique.max_clique_size (Graph.create ~n:3 []))
+
+let test_max_clique_embedded () =
+  (* K4 plus a pending path *)
+  let g = Graph.create ~n:7 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3); (3, 4); (4, 5); (5, 6) ] in
+  let c = Clique.max_clique g in
+  Alcotest.(check (list int)) "finds K4" [ 0; 1; 2; 3 ] c;
+  Alcotest.(check bool) "is clique" true (Clique.is_clique g c)
+
+let prop_max_clique_is_clique =
+  qtest "max_clique returns a clique" ~count:60 (arb_gnp ~max_n:14 ()) (fun g ->
+      Clique.is_clique g (Clique.max_clique g))
+
+let prop_maximal_cliques_cover =
+  qtest "every edge is inside some maximal clique" ~count:40 (arb_gnp ~max_n:12 ()) (fun g ->
+      let covered = Array.make (Graph.m g) false in
+      Clique.iter_maximal_cliques g (fun c ->
+          let arr = Array.of_list c in
+          Array.iteri
+            (fun i u ->
+              Array.iteri
+                (fun j v ->
+                  if i < j then
+                    match Graph.edge_index g u v with
+                    | Some e -> covered.(e) <- true
+                    | None -> ())
+                arr)
+            arr);
+      Array.for_all Fun.id covered)
+
+(* ------------------------------------------------------------------ *)
+(* Io                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_roundtrip () =
+  let g = Gen.gnm (rng ()) ~n:20 ~m:40 in
+  let g' = Io.of_string (Io.to_string g) in
+  Alcotest.(check bool) "roundtrip" true (Graph.equal g g')
+
+let test_io_comments_and_blanks () =
+  let text = "# a sensor field\n3 2\n\n0 1\n# hop\n1 2\n" in
+  let g = Io.of_string text in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g)
+
+let test_io_errors () =
+  let fails s = try ignore (Io.of_string s); false with Failure _ -> true in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "bad header" true (fails "3\n");
+  Alcotest.(check bool) "bad int" true (fails "2 1\n0 x\n");
+  Alcotest.(check bool) "edge count mismatch" true (fails "3 2\n0 1\n")
+
+let test_io_file () =
+  let g = Gen.cycle 5 in
+  let path = Filename.temp_file "fdlsp" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_file path g;
+      Alcotest.(check bool) "file roundtrip" true (Graph.equal g (Io.read_file path)))
+
+let prop_io_roundtrip =
+  qtest "io roundtrip on random graphs" (arb_gnp ()) (fun g ->
+      Graph.equal g (Io.of_string (Io.to_string g)))
+
+(* ------------------------------------------------------------------ *)
+(* Arcs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_arcs_basic () =
+  let g = Graph.create ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check int) "count" 4 (Arc.count g);
+  let a01 = Arc.make g 0 1 and a10 = Arc.make g 1 0 in
+  Alcotest.(check int) "tail" 0 (Arc.tail g a01);
+  Alcotest.(check int) "head" 1 (Arc.head g a01);
+  Alcotest.(check int) "rev" a10 (Arc.rev a01);
+  Alcotest.(check int) "rev rev" a01 (Arc.rev (Arc.rev a01));
+  Alcotest.check_raises "non-edge" (Invalid_argument "Arc.make: not an edge") (fun () ->
+      ignore (Arc.make g 0 2))
+
+let test_arcs_iter () =
+  let g = Gen.star 4 in
+  let out = ref [] in
+  Arc.iter_out g 0 (fun a -> out := (Arc.tail g a, Arc.head g a) :: !out);
+  Alcotest.(check (list (pair int int))) "out of center" [ (0, 3); (0, 2); (0, 1) ] !out;
+  let inc = ref 0 in
+  Arc.iter_incident g 0 (fun _ -> incr inc);
+  Alcotest.(check int) "incident arcs" 6 !inc;
+  let all = ref 0 in
+  Arc.iter g (fun _ -> incr all);
+  Alcotest.(check int) "all arcs" 6 !all
+
+let prop_arc_roundtrip =
+  qtest "arc make/tail/head round trip" (arb_gnp ()) (fun g ->
+      let ok = ref true in
+      Graph.iter_edges g (fun _ u v ->
+          let a = Arc.make g u v in
+          if Arc.tail g a <> u || Arc.head g a <> v then ok := false;
+          let b = Arc.make g v u in
+          if b <> Arc.rev a then ok := false);
+      !ok)
+
+let prop_arcs_partition =
+  qtest "out-arcs over all nodes = all arcs" (arb_gnp ()) (fun g ->
+      let seen = Array.make (Arc.count g) false in
+      for v = 0 to Graph.n g - 1 do
+        Arc.iter_out g v (fun a ->
+            if seen.(a) then failwith "dup";
+            seen.(a) <- true)
+      done;
+      Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "fdlsp_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create basic" `Quick test_create_basic;
+          Alcotest.test_case "create rejects" `Quick test_create_rejects;
+          Alcotest.test_case "empty graph" `Quick test_empty;
+          Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+          Alcotest.test_case "edge index" `Quick test_edge_index;
+          Alcotest.test_case "common neighbors" `Quick test_common_neighbors;
+          Alcotest.test_case "induced subgraph" `Quick test_induced;
+          Alcotest.test_case "remove nodes" `Quick test_remove_nodes;
+          Alcotest.test_case "complement" `Quick test_complement;
+          prop_degree_sum;
+          prop_mem_edge_symmetric;
+          prop_complement_involution;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "shapes" `Quick test_gen_shapes;
+          Alcotest.test_case "random tree" `Quick test_gen_tree;
+          Alcotest.test_case "gnm" `Quick test_gen_gnm;
+          Alcotest.test_case "udg vs brute force" `Quick test_gen_udg;
+          Alcotest.test_case "udg radius boundary" `Quick test_udg_edges_radius_boundary;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "bfs disconnected" `Quick test_bfs_disconnected;
+          Alcotest.test_case "within" `Quick test_within;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+          prop_within_matches_bfs;
+        ] );
+      ( "clique",
+        [
+          Alcotest.test_case "triangles" `Quick test_triangles;
+          Alcotest.test_case "max clique" `Quick test_max_clique;
+          Alcotest.test_case "embedded K4" `Quick test_max_clique_embedded;
+          prop_max_clique_is_clique;
+          prop_maximal_cliques_cover;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file;
+          prop_io_roundtrip;
+        ] );
+      ( "arc",
+        [
+          Alcotest.test_case "basics" `Quick test_arcs_basic;
+          Alcotest.test_case "iteration" `Quick test_arcs_iter;
+          prop_arc_roundtrip;
+          prop_arcs_partition;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the LP/ILP substrate and the paper's ILP model. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_ilp
+
+let qtest name ?(count = 40) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+
+let arb_gnp ?(max_n = 8) () =
+  let gen st =
+    let n = 1 + Random.State.int st max_n in
+    let p = Random.State.float st 1. in
+    Gen.gnp st ~n ~p
+  in
+  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* LP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_basic_le () =
+  (* min -x - y  s.t.  x + y <= 1  ->  -1 *)
+  let p = { Lp.objective = [| -1.; -1. |]; constraints = [ ([| 1.; 1. |], Lp.Le, 1.) ] } in
+  match Lp.solve p with
+  | Lp.Optimal { objective_value; values } ->
+      check_float "objective" (-1.) objective_value;
+      check_float "sum" 1. (values.(0) +. values.(1))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_two_constraints () =
+  (* min -(3x + 2y)  s.t. x <= 4, y <= 3, x + y <= 5  ->  x=4, y=1 *)
+  let p =
+    {
+      Lp.objective = [| -3.; -2. |];
+      constraints =
+        [
+          ([| 1.; 0. |], Lp.Le, 4.);
+          ([| 0.; 1. |], Lp.Le, 3.);
+          ([| 1.; 1. |], Lp.Le, 5.);
+        ];
+    }
+  in
+  match Lp.solve p with
+  | Lp.Optimal { objective_value; values } ->
+      check_float "objective" (-14.) objective_value;
+      check_float "x" 4. values.(0);
+      check_float "y" 1. values.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_equality_and_ge () =
+  (* min x + y  s.t.  x + y = 2, x >= 0.5  ->  2 *)
+  let p =
+    {
+      Lp.objective = [| 1.; 1. |];
+      constraints = [ ([| 1.; 1. |], Lp.Eq, 2.); ([| 1.; 0. |], Lp.Ge, 0.5) ];
+    }
+  in
+  match Lp.solve p with
+  | Lp.Optimal { objective_value; values } ->
+      check_float "objective" 2. objective_value;
+      Alcotest.(check bool) "x >= 0.5" true (values.(0) >= 0.5 -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_infeasible () =
+  let p =
+    {
+      Lp.objective = [| 1. |];
+      constraints = [ ([| 1. |], Lp.Ge, 2.); ([| 1. |], Lp.Le, 1.) ];
+    }
+  in
+  Alcotest.(check bool) "infeasible" true (Lp.solve p = Lp.Infeasible)
+
+let test_lp_unbounded () =
+  let p = { Lp.objective = [| -1. |]; constraints = [ ([| -1. |], Lp.Le, 0.) ] } in
+  Alcotest.(check bool) "unbounded" true (Lp.solve p = Lp.Unbounded)
+
+let test_lp_negative_rhs () =
+  (* -x <= -2  <=>  x >= 2; min x -> 2 *)
+  let p = { Lp.objective = [| 1. |]; constraints = [ ([| -1. |], Lp.Le, -2.) ] } in
+  match Lp.solve p with
+  | Lp.Optimal { objective_value; _ } -> check_float "objective" 2. objective_value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_dimension_mismatch () =
+  let p = { Lp.objective = [| 1. |]; constraints = [ ([| 1.; 2. |], Lp.Le, 1.) ] } in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Lp.solve: row length mismatch")
+    (fun () -> ignore (Lp.solve p))
+
+let test_lp_degenerate () =
+  (* redundant equalities must not break phase 1 *)
+  let p =
+    {
+      Lp.objective = [| 1.; 1. |];
+      constraints =
+        [
+          ([| 1.; 1. |], Lp.Eq, 1.);
+          ([| 2.; 2. |], Lp.Eq, 2.);
+          ([| 1.; 0. |], Lp.Le, 1.);
+        ];
+    }
+  in
+  match Lp.solve p with
+  | Lp.Optimal { objective_value; _ } -> check_float "objective" 1. objective_value
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* ILP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ilp_rounding_needed () =
+  (* min -(x+y+z)  s.t.  x+y <= 1, y+z <= 1, x+z <= 1: LP says 1.5, the
+     integer optimum is 1 *)
+  let p =
+    {
+      Lp.objective = [| -1.; -1.; -1. |];
+      constraints =
+        [
+          ([| 1.; 1.; 0. |], Lp.Le, 1.);
+          ([| 0.; 1.; 1. |], Lp.Le, 1.);
+          ([| 1.; 0.; 1. |], Lp.Le, 1.);
+        ];
+    }
+  in
+  let r = Ilp.solve p in
+  Alcotest.(check bool) "optimal" true (r.Ilp.status = Ilp.Optimal);
+  check_float "objective" (-1.) r.Ilp.objective
+
+let test_ilp_integer_infeasible () =
+  (* x + y = 0.5 has LP solutions but no 0/1 solution *)
+  let p = { Lp.objective = [| 1.; 1. |]; constraints = [ ([| 1.; 1. |], Lp.Eq, 0.5) ] } in
+  let r = Ilp.solve p in
+  Alcotest.(check bool) "infeasible" true (r.Ilp.status = Ilp.Infeasible)
+
+let test_ilp_all_integral_lp () =
+  (* totally unimodular: LP already integral, no branching *)
+  let p =
+    { Lp.objective = [| 1.; 1. |]; constraints = [ ([| 1.; 1. |], Lp.Ge, 1.) ] }
+  in
+  let r = Ilp.solve p in
+  Alcotest.(check bool) "optimal" true (r.Ilp.status = Ilp.Optimal);
+  check_float "objective" 1. r.Ilp.objective;
+  Alcotest.(check int) "single node" 1 r.Ilp.nodes
+
+let test_ilp_budget () =
+  let p =
+    {
+      Lp.objective = [| -1.; -1.; -1. |];
+      constraints = [ ([| 1.; 1.; 1. |], Lp.Le, 2.) ];
+    }
+  in
+  let r = Ilp.solve ~max_nodes:0 p in
+  Alcotest.(check bool) "budget" true (r.Ilp.status = Ilp.Budget)
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_paper_pairs_equal_conflicts =
+  qtest "paper constraint families (2),(4),(5),(6) = conflict relation" (arb_gnp ())
+    (fun g ->
+      let from_paper = Model.paper_pairs g in
+      let brute = ref [] in
+      Arc.iter g (fun a ->
+          Arc.iter g (fun b ->
+              if a < b && Conflict.conflict g a b then brute := (a, b) :: !brute));
+      from_paper = List.rev !brute)
+
+let check_model name g expect =
+  match Model.solve g with
+  | None -> Alcotest.fail (name ^ ": ILP budget exhausted")
+  | Some { Model.slots; schedule; _ } ->
+      Alcotest.(check int) (name ^ " slots") expect slots;
+      Alcotest.(check bool) (name ^ " schedule valid") true (Schedule.valid schedule);
+      Alcotest.(check int) (name ^ " schedule uses slots colors") expect
+        (Schedule.num_slots schedule)
+
+let test_model_single_edge () = check_model "P2" (Gen.path 2) 2
+let test_model_path3 () = check_model "P3" (Gen.path 3) 4
+let test_model_star () = check_model "K13" (Gen.star 4) 6
+let test_model_triangle () = check_model "K3" (Gen.complete 3) 6
+let test_model_c4 () = check_model "C4" (Gen.cycle 4) 4
+let test_model_edgeless () = check_model "edgeless" (Graph.create ~n:3 []) 0
+
+let prop_model_matches_dsatur =
+  qtest "ILP optimum = DSATUR optimum" ~count:12 (arb_gnp ~max_n:5 ()) (fun g ->
+      match Model.solve ~max_nodes:500_000 g with
+      | None -> true (* budget: nothing to compare *)
+      | Some { Model.slots; _ } ->
+          let d = Dsatur.fdlsp_optimal g in
+          d.Dsatur.status <> Dsatur.Optimal || slots = d.Dsatur.colors_used)
+
+let () =
+  Alcotest.run "fdlsp_ilp"
+    [
+      ( "lp",
+        [
+          Alcotest.test_case "basic <=" `Quick test_lp_basic_le;
+          Alcotest.test_case "two constraints" `Quick test_lp_two_constraints;
+          Alcotest.test_case "equality and >=" `Quick test_lp_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs;
+          Alcotest.test_case "dimension mismatch" `Quick test_lp_dimension_mismatch;
+          Alcotest.test_case "degenerate equalities" `Quick test_lp_degenerate;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "fractional LP, integral opt" `Quick test_ilp_rounding_needed;
+          Alcotest.test_case "integer infeasible" `Quick test_ilp_integer_infeasible;
+          Alcotest.test_case "integral LP shortcut" `Quick test_ilp_all_integral_lp;
+          Alcotest.test_case "node budget" `Quick test_ilp_budget;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "single edge" `Quick test_model_single_edge;
+          Alcotest.test_case "P3" `Quick test_model_path3;
+          Alcotest.test_case "star" `Slow test_model_star;
+          Alcotest.test_case "triangle" `Slow test_model_triangle;
+          Alcotest.test_case "C4" `Slow test_model_c4;
+          Alcotest.test_case "edgeless" `Quick test_model_edgeless;
+          prop_paper_pairs_equal_conflicts;
+          prop_model_matches_dsatur;
+        ] );
+    ]

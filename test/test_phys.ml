@@ -1,0 +1,284 @@
+(* Tests for the physical-model and optimization extensions: the tree
+   scheduler, schedule compaction, the SINR substrate, and the quasi-UDG
+   generator. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_core
+
+let rng () = Random.State.make [| 0x51E; 9 |]
+
+let qtest name ?(count = 60) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+
+let arb_tree ?(max_n = 60) () =
+  let gen st = Gen.random_tree st (2 + Random.State.int st max_n) in
+  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+
+let arb_gnp ?(max_n = 14) () =
+  let gen st =
+    let n = 1 + Random.State.int st max_n in
+    Gen.gnp st ~n ~p:(Random.State.float st 0.7)
+  in
+  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Tree scheduler                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_basic () =
+  let g = Gen.star 7 in
+  let s = Tree_sched.schedule g in
+  Alcotest.(check bool) "valid" true (Schedule.valid s);
+  Alcotest.(check int) "2 delta" 12 (Schedule.num_slots s);
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Tree_sched.schedule: graph has a cycle") (fun () ->
+      ignore (Tree_sched.schedule (Gen.cycle 4)))
+
+let test_tree_forest () =
+  let g = Graph.create ~n:7 [ (0, 1); (1, 2); (3, 4); (4, 5); (4, 6) ] in
+  Alcotest.(check bool) "is forest" true (Tree_sched.is_forest g);
+  let s = Tree_sched.schedule g in
+  Alcotest.(check bool) "valid" true (Schedule.valid s);
+  Alcotest.(check int) "2 delta of forest" 6 (Schedule.num_slots s)
+
+let test_is_forest () =
+  Alcotest.(check bool) "path" true (Tree_sched.is_forest (Gen.path 6));
+  Alcotest.(check bool) "cycle" false (Tree_sched.is_forest (Gen.cycle 6));
+  Alcotest.(check bool) "edgeless" true (Tree_sched.is_forest (Graph.create ~n:3 []))
+
+let prop_tree_optimal =
+  qtest "tree scheduler hits exactly 2 delta" ~count:300 (arb_tree ()) (fun g ->
+      let s = Tree_sched.schedule g in
+      Schedule.valid s && Schedule.num_slots s = 2 * Graph.max_degree g)
+
+let prop_tree_matches_lower_bound =
+  qtest "2 delta equals Theorem 1 on trees" ~count:100 (arb_tree ()) (fun g ->
+      Bounds.lower g = 2 * Graph.max_degree g)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_compact_removes_waste () =
+  (* a path scheduled with artificially scattered colors *)
+  let g = Gen.path 2 in
+  let s = Schedule.make g in
+  Schedule.set s 0 5;
+  Schedule.set s 1 9;
+  let c = Compact.compact s in
+  Alcotest.(check int) "still 2 slots" 2 (Schedule.num_slots c);
+  Alcotest.(check bool) "valid" true (Schedule.valid c)
+
+let test_compact_rejects_invalid () =
+  let g = Gen.path 3 in
+  Alcotest.check_raises "invalid input"
+    (Invalid_argument "Compact.compact: invalid schedule") (fun () ->
+      ignore (Compact.compact (Schedule.make g)))
+
+let prop_compact_never_worse =
+  qtest "compaction is valid and never worse" (arb_gnp ()) (fun g ->
+      let s = Greedy.color ~order:(Greedy.Shuffled (rng ())) g in
+      let c = Compact.compact s in
+      Schedule.valid c && Schedule.num_slots c <= Schedule.num_slots s)
+
+let prop_compact_idempotent =
+  qtest "compaction is idempotent" ~count:30 (arb_gnp ~max_n:10 ()) (fun g ->
+      let c = Compact.compact (Greedy.color g) in
+      Schedule.num_slots (Compact.compact c) = Schedule.num_slots c)
+
+let prop_kempe_valid_never_worse =
+  (* per greedy step Kempe has strictly more moves than plain
+     compaction, but the greedy paths may diverge, so the per-instance
+     guarantee is only against the input *)
+  qtest "Kempe compaction valid and never worse than input" ~count:30 (arb_gnp ~max_n:12 ())
+    (fun g ->
+      let s = Greedy.color ~order:(Greedy.Shuffled (rng ())) g in
+      let chains = Compact.kempe s in
+      Schedule.valid chains && Schedule.num_slots chains <= Schedule.num_slots s)
+
+let test_kempe_beats_plain_sometimes () =
+  (* across a batch of shuffled greedy schedules the extra Kempe moves
+     should pay off in aggregate (small slack for greedy divergence) *)
+  let r = rng () in
+  let plain_total = ref 0 and kempe_total = ref 0 in
+  for _ = 1 to 10 do
+    let g = Gen.gnm r ~n:30 ~m:90 in
+    let s = Greedy.color ~order:(Greedy.Shuffled r) g in
+    plain_total := !plain_total + Schedule.num_slots (Compact.compact s);
+    kempe_total := !kempe_total + Schedule.num_slots (Compact.kempe s)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "kempe (%d) <= plain (%d) + 2" !kempe_total !plain_total)
+    true
+    (!kempe_total <= !plain_total + 2)
+
+let prop_compact_respects_lower_bound =
+  qtest "compaction never beats the exact optimum" ~count:30 (arb_gnp ~max_n:7 ())
+    (fun g ->
+      let c = Compact.compact (Greedy.color g) in
+      let opt = Dsatur.fdlsp_optimal g in
+      opt.Dsatur.status <> Dsatur.Optimal
+      || Schedule.num_slots c >= opt.Dsatur.colors_used)
+
+(* ------------------------------------------------------------------ *)
+(* SINR                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let p0 = Sinr.default_params
+
+let test_sinr_point_math () =
+  (* two points at distance 1: solo reception ratio = P / noise *)
+  let points = Geometry.[| { x = 0.; y = 0. }; { x = 1.; y = 0. } |] in
+  let ratio = Sinr.sinr p0 points ~tx:0 ~rx:1 ~others:[] in
+  Alcotest.(check bool) "huge solo sinr" true (ratio > 1e5);
+  (* an interferer right next to the receiver drowns the signal *)
+  let points3 =
+    Geometry.[| { x = 0.; y = 0. }; { x = 1.; y = 0. }; { x = 1.2; y = 0. } |]
+  in
+  let jammed = Sinr.sinr p0 points3 ~tx:0 ~rx:1 ~others:[ 0; 2 ] in
+  Alcotest.(check bool) "jammed below threshold" true (jammed < p0.Sinr.beta)
+
+let connected_field seed n =
+  let r = Random.State.make [| seed |] in
+  let rec go tries =
+    let g, pts = Gen.udg r ~n ~side:6. ~radius:1.2 in
+    if Traversal.is_connected g || tries > 40 then (g, pts) else go (tries + 1)
+  in
+  go 0
+
+let test_sinr_check_protocol_schedule () =
+  let g, pts = connected_field 5 40 in
+  let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+  let r = Sinr.check p0 pts g sched in
+  Alcotest.(check int) "all receptions evaluated" (Arc.count g) r.Sinr.receptions;
+  (* protocol-valid does not imply SINR-valid, but failures should be a
+     minority under mild parameters *)
+  Alcotest.(check bool)
+    (Printf.sprintf "failures (%d) < receptions (%d)" r.Sinr.failures r.Sinr.receptions)
+    true
+    (r.Sinr.failures < r.Sinr.receptions)
+
+let test_sinr_harden () =
+  let g, pts = connected_field 11 50 in
+  let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+  let hardened, moved = Sinr.harden p0 pts g sched in
+  let r = Sinr.check p0 pts g hardened in
+  Alcotest.(check int) "zero failures after hardening" 0 r.Sinr.failures;
+  Alcotest.(check bool) "still protocol-valid" true (Schedule.valid hardened);
+  Alcotest.(check bool) "work reported" true (moved >= 0)
+
+let test_sinr_dimension_check () =
+  let g = Gen.path 3 in
+  let pts = Geometry.[| { x = 0.; y = 0. } |] in
+  Alcotest.check_raises "bad positions"
+    (Invalid_argument "Sinr.check: positions do not match the graph") (fun () ->
+      ignore (Sinr.check p0 pts g (Greedy.color g)))
+
+let prop_sinr_harden_clean =
+  let arb =
+    let gen st =
+      let n = 10 + Random.State.int st 30 in
+      Gen.udg st ~n ~side:5. ~radius:1.2
+    in
+    QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+  in
+  qtest "hardening always reaches zero SINR failures" ~count:25 arb (fun (g, pts) ->
+      let sched = Greedy.color g in
+      let hardened, _ = Sinr.harden p0 pts g sched in
+      let r = Sinr.check p0 pts g hardened in
+      r.Sinr.failures = 0 && Schedule.valid hardened)
+
+(* ------------------------------------------------------------------ *)
+(* Quasi-UDG                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_qudg_degenerate () =
+  let seed () = Random.State.make [| 21 |] in
+  let u, _ = Gen.udg (seed ()) ~n:60 ~side:8. ~radius:1.3 in
+  let q, _ = Gen.qudg (seed ()) ~n:60 ~side:8. ~radius:1.3 ~inner:1. ~p:0. in
+  Alcotest.(check bool) "inner=1 equals udg" true (Graph.equal u q)
+
+let test_qudg_rejects () =
+  Alcotest.check_raises "inner range" (Invalid_argument "Gen.qudg: inner out of [0,1]")
+    (fun () -> ignore (Gen.qudg (rng ()) ~n:5 ~side:3. ~radius:1. ~inner:1.5 ~p:0.5));
+  Alcotest.check_raises "p range" (Invalid_argument "Gen.qudg: p out of [0,1]") (fun () ->
+      ignore (Gen.qudg (rng ()) ~n:5 ~side:3. ~radius:1. ~inner:0.5 ~p:2.))
+
+let prop_qudg_sandwich =
+  let arb =
+    let gen st =
+      let n = 10 + Random.State.int st 40 in
+      let seed = Random.State.bits st in
+      (n, seed)
+    in
+    QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+  in
+  qtest "qudg edges sandwiched between inner and outer disks" ~count:40 arb
+    (fun (n, seed) ->
+      let mk () = Random.State.make [| seed |] in
+      let q, pts = Gen.qudg (mk ()) ~n ~side:6. ~radius:1.2 ~inner:0.5 ~p:0.5 in
+      let ok = ref true in
+      (* every edge within the outer radius; every inner pair present *)
+      Graph.iter_edges q (fun _ u v ->
+          if Geometry.dist pts.(u) pts.(v) > 1.2 +. 1e-9 then ok := false);
+      Array.iteri
+        (fun u pu ->
+          Array.iteri
+            (fun v pv ->
+              if u < v && Geometry.dist pu pv <= 0.6 && not (Graph.mem_edge q u v) then
+                ok := false)
+            pts)
+        pts;
+      !ok)
+
+let prop_qudg_schedulable =
+  let arb =
+    let gen st =
+      fst (Gen.qudg st ~n:(10 + Random.State.int st 30) ~side:6. ~radius:1.3 ~inner:0.6 ~p:0.4)
+    in
+    QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+  in
+  qtest "all schedulers handle quasi-UDGs" ~count:25 arb (fun g ->
+      Schedule.valid (Dfs_sched.run g).Dfs_sched.schedule
+      && Schedule.valid
+           (Dist_mis.run ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g).Dist_mis.schedule
+      && Schedule.valid (Dmgc.run g).Dmgc.schedule)
+
+let () =
+  Alcotest.run "fdlsp_phys"
+    [
+      ( "tree_sched",
+        [
+          Alcotest.test_case "star + cycle rejection" `Quick test_tree_basic;
+          Alcotest.test_case "forest" `Quick test_tree_forest;
+          Alcotest.test_case "is_forest" `Quick test_is_forest;
+          prop_tree_optimal;
+          prop_tree_matches_lower_bound;
+        ] );
+      ( "compact",
+        [
+          Alcotest.test_case "removes scattered colors" `Quick test_compact_removes_waste;
+          Alcotest.test_case "rejects invalid" `Quick test_compact_rejects_invalid;
+          Alcotest.test_case "kempe batch" `Slow test_kempe_beats_plain_sometimes;
+          prop_compact_never_worse;
+          prop_compact_idempotent;
+          prop_compact_respects_lower_bound;
+          prop_kempe_valid_never_worse;
+        ] );
+      ( "sinr",
+        [
+          Alcotest.test_case "point math" `Quick test_sinr_point_math;
+          Alcotest.test_case "check protocol schedule" `Quick test_sinr_check_protocol_schedule;
+          Alcotest.test_case "harden" `Quick test_sinr_harden;
+          Alcotest.test_case "dimension check" `Quick test_sinr_dimension_check;
+          prop_sinr_harden_clean;
+        ] );
+      ( "qudg",
+        [
+          Alcotest.test_case "degenerate to udg" `Quick test_qudg_degenerate;
+          Alcotest.test_case "rejects bad params" `Quick test_qudg_rejects;
+          prop_qudg_sandwich;
+          prop_qudg_schedulable;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the distributed simulator: synchronous round engine and
+   asynchronous event engine. *)
+
+open Fdlsp_graph
+open Fdlsp_sim
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Flooding: node 0 knows a token; everyone floods it on first sight and
+   halts.  Every node learns it after exactly its BFS distance (in
+   rounds), and the engine stops. *)
+type flood = { knows : bool; announced : bool }
+
+let test_sync_flood () =
+  (* proper flooding: forward to all neighbors on first learn *)
+  let g = Gen.path 5 in
+  let step ~round:_ v state inbox =
+    let was_known = state.knows in
+    let knows = state.knows || inbox <> [] || v = 0 in
+    if knows && not was_known then
+      let out = Graph.fold_neighbors g v (fun acc w -> (w, ()) :: acc) [] in
+      ({ knows; announced = true }, Sync.Halt out)
+    else (state, Sync.Continue [])
+  in
+  let states, stats =
+    Sync.run g ~init:(fun _ -> ({ knows = false; announced = false }, true)) ~step
+  in
+  Alcotest.(check bool) "all know" true (Array.for_all (fun s -> s.knows) states);
+  (* node 0 learns spontaneously in round 1 and node 4 in round 5 =
+     eccentricity + 1, halting as it learns *)
+  Alcotest.(check int) "rounds = eccentricity + 1" 5 stats.Stats.rounds;
+  Alcotest.(check int) "messages = 2m per flood" (2 * Graph.m g) stats.Stats.messages
+
+let test_sync_initially_halted () =
+  let g = Gen.path 3 in
+  let init v = ((), v = 1) in
+  let step ~round:_ _ () _ = ((), Sync.Halt []) in
+  let _, stats = Sync.run g ~init ~step in
+  Alcotest.(check int) "one round" 1 stats.Stats.rounds;
+  Alcotest.(check int) "no messages" 0 stats.Stats.messages
+
+let test_sync_locality_enforced () =
+  let g = Gen.path 3 in
+  let step ~round:_ _ () _ = ((), Sync.Halt [ (2, ()) ]) in
+  Alcotest.check_raises "non-neighbor send"
+    (Invalid_argument "Sync.run: node 0 sent to non-neighbor 2") (fun () ->
+      ignore (Sync.run g ~init:(fun v -> ((), v = 0)) ~step))
+
+let test_sync_nontermination () =
+  let g = Gen.path 2 in
+  let step ~round:_ _ () _ = ((), Sync.Continue []) in
+  Alcotest.check_raises "caught" (Sync.Did_not_terminate 10) (fun () ->
+      ignore (Sync.run ~max_rounds:10 g ~init:(fun _ -> ((), true)) ~step))
+
+let test_sync_empty_graph () =
+  let g = Graph.create ~n:0 [] in
+  let step ~round:_ _ () _ = ((), Sync.Halt []) in
+  let states, stats = Sync.run g ~init:(fun _ -> ((), true)) ~step in
+  Alcotest.(check int) "no states" 0 (Array.length states);
+  Alcotest.(check int) "no rounds" 0 stats.Stats.rounds
+
+(* Leader election by max-id flooding on a cycle: classic sanity check
+   that multi-round protocols converge with the right answer. *)
+let test_sync_max_flood () =
+  let g = Gen.cycle 7 in
+  let diam = Traversal.diameter g in
+  let step ~round v best inbox =
+    let best = List.fold_left (fun acc (_, x) -> max acc x) best inbox in
+    let out = Graph.fold_neighbors g v (fun acc w -> (w, best) :: acc) [] in
+    if round > diam then (best, Sync.Halt [])
+    else (best, Sync.Continue out)
+  in
+  let states, _ = Sync.run g ~init:(fun v -> (v, true)) ~step in
+  Array.iter (fun best -> Alcotest.(check int) "max everywhere" 6 best) states
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Token relay along a path: completion time with unit delays must be
+   exactly n-1 hops. *)
+let test_async_relay () =
+  let g = Gen.path 6 in
+  let handler ctx state ~sender:_ () =
+    let v = Async.self ctx in
+    if v < 5 then Async.send ctx (v + 1) ();
+    state + 1
+  in
+  let starts = [ (0, fun ctx s -> Async.send ctx 1 (); s) ] in
+  let states, stats = Async.run g ~init:(fun _ -> 0) ~starts ~handler in
+  Alcotest.(check int) "hops" 5 stats.Stats.rounds;
+  Alcotest.(check int) "messages" 5 stats.Stats.messages;
+  Alcotest.(check int) "each interior visited once" 1 states.(3)
+
+let test_async_fifo_random_delays () =
+  (* send 20 numbered messages over one channel with random delays;
+     FIFO must preserve order *)
+  let rng = Random.State.make [| 11 |] in
+  let g = Gen.path 2 in
+  let handler _ state ~sender:_ k =
+    match state with
+    | prev :: _ when k <= prev -> Alcotest.fail "FIFO violated"
+    | _ -> k :: state
+  in
+  let starts =
+    [ (0, fun ctx s -> List.iter (fun k -> Async.send ctx 1 k) (List.init 20 Fun.id); s) ]
+  in
+  let states, stats =
+    Async.run ~delay:(Async.Uniform (rng, 0.1, 1.0)) g ~init:(fun _ -> []) ~starts ~handler
+  in
+  Alcotest.(check int) "all delivered" 20 (List.length states.(1));
+  Alcotest.(check int) "messages" 20 stats.Stats.messages
+
+let test_async_locality () =
+  let g = Gen.path 3 in
+  let handler _ s ~sender:_ () = s in
+  let starts = [ (0, fun ctx s -> Async.send ctx 2 (); s) ] in
+  Alcotest.check_raises "non-neighbor"
+    (Invalid_argument "Async.send: node 0 sent to non-neighbor 2") (fun () ->
+      ignore (Async.run g ~init:(fun _ -> ()) ~starts ~handler))
+
+let test_async_event_cap () =
+  let g = Gen.path 2 in
+  (* infinite ping-pong *)
+  let handler ctx s ~sender () =
+    Async.send ctx sender ();
+    s
+  in
+  let starts = [ (0, fun ctx s -> Async.send ctx 1 (); s) ] in
+  Alcotest.check_raises "cap" (Async.Too_many_events 100) (fun () ->
+      ignore (Async.run ~max_events:100 g ~init:(fun _ -> ()) ~starts ~handler))
+
+let test_async_echo_broadcast () =
+  (* star center queries all leaves; leaves reply; center counts *)
+  let g = Gen.star 9 in
+  let handler ctx state ~sender msg =
+    match msg with
+    | `Query ->
+        Async.send ctx sender `Reply;
+        state
+    | `Reply -> state + 1
+  in
+  let starts =
+    [ (0, fun ctx s -> Array.iter (fun w -> Async.send ctx w `Query) (Async.neighbors ctx); s) ]
+  in
+  let states, stats = Async.run g ~init:(fun _ -> 0) ~starts ~handler in
+  Alcotest.(check int) "replies" 8 states.(0);
+  Alcotest.(check int) "time = 2" 2 stats.Stats.rounds;
+  Alcotest.(check int) "msgs" 16 stats.Stats.messages
+
+let test_async_concurrent_chains () =
+  (* two independent relays race; completion time is the longer chain *)
+  let g = Gen.path 9 in
+  let handler ctx state ~sender () =
+    let v = Async.self ctx in
+    (* forward away from the sender, stop at the ends *)
+    let dir = if sender < v then 1 else -1 in
+    let nxt = v + dir in
+    if nxt >= 0 && nxt <= 8 then Async.send ctx nxt ();
+    state + 1
+  in
+  let starts =
+    [
+      (4, fun ctx s -> Async.send ctx 3 (); Async.send ctx 5 (); s);
+    ]
+  in
+  let _, stats = Async.run g ~init:(fun _ -> 0) ~starts ~handler in
+  Alcotest.(check int) "both directions, longest chain" 4 stats.Stats.rounds;
+  Alcotest.(check int) "msgs" 8 stats.Stats.messages
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let a = { Stats.rounds = 3; messages = 10; volume = 25 } in
+  let b = { Stats.rounds = 4; messages = 1; volume = 2 } in
+  Alcotest.(check int) "add rounds" 7 (Stats.add a b).Stats.rounds;
+  Alcotest.(check int) "add msgs" 11 (Stats.add a b).Stats.messages;
+  Alcotest.(check int) "add volume" 27 (Stats.add a b).Stats.volume;
+  let s = Stats.scale_rounds 3 a in
+  Alcotest.(check int) "scale rounds" 9 s.Stats.rounds;
+  Alcotest.(check int) "scale msgs" 30 s.Stats.messages;
+  Alcotest.(check int) "scale volume" 75 s.Stats.volume;
+  Alcotest.(check int) "zero" 0 Stats.zero.Stats.volume
+
+let test_volume_weights () =
+  (* sync: a two-round exchange with table payloads *)
+  let g = Gen.path 2 in
+  let step ~round v () _ =
+    if round = 1 then ((), Sync.Continue [ (1 - v, Array.make 5 0) ]) else ((), Sync.Halt [])
+  in
+  let _, st =
+    Sync.run ~weight:Array.length g ~init:(fun _ -> ((), true)) ~step
+  in
+  Alcotest.(check int) "sync messages" 2 st.Stats.messages;
+  Alcotest.(check int) "sync volume" 10 st.Stats.volume;
+  (* async: weight clamps to 1 for empty payloads *)
+  let handler _ s ~sender:_ _ = s in
+  let starts = [ (0, fun ctx s -> Async.send ctx 1 [||]; Async.send ctx 1 (Array.make 3 0); s) ] in
+  let _, st =
+    Async.run ~weight:Array.length g ~init:(fun _ -> ()) ~starts ~handler
+  in
+  Alcotest.(check int) "async messages" 2 st.Stats.messages;
+  Alcotest.(check int) "async volume" 4 st.Stats.volume
+
+let () =
+  Alcotest.run "fdlsp_sim"
+    [
+      ( "sync",
+        [
+          Alcotest.test_case "flooding" `Quick test_sync_flood;
+          Alcotest.test_case "initially halted" `Quick test_sync_initially_halted;
+          Alcotest.test_case "locality enforced" `Quick test_sync_locality_enforced;
+          Alcotest.test_case "non-termination detected" `Quick test_sync_nontermination;
+          Alcotest.test_case "empty graph" `Quick test_sync_empty_graph;
+          Alcotest.test_case "max flooding on cycle" `Quick test_sync_max_flood;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "token relay" `Quick test_async_relay;
+          Alcotest.test_case "fifo under random delays" `Quick test_async_fifo_random_delays;
+          Alcotest.test_case "locality enforced" `Quick test_async_locality;
+          Alcotest.test_case "event cap" `Quick test_async_event_cap;
+          Alcotest.test_case "echo broadcast" `Quick test_async_echo_broadcast;
+          Alcotest.test_case "concurrent chains" `Quick test_async_concurrent_chains;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "algebra" `Quick test_stats;
+          Alcotest.test_case "volume weights" `Quick test_volume_weights;
+        ] );
+    ]
