@@ -237,6 +237,112 @@ let fig14 cfg = fig_rounds_general cfg ~figure:14 ~n:500 ~edge_counts:[ 750; 150
 let fig15 cfg = fig_rounds_general cfg ~figure:15 ~n:200 ~edge_counts:[ 300; 600; 1000; 1500; 2000 ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault sweep (robustness; beyond the paper's figures)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Reliable DistMIS and DFS under uniform message loss: the overhead
+   columns chart what the ack/retransmit layer pays, relative to the
+   lossless run of the same family/algorithm, to keep the schedules
+   valid.  Ends with a machine-readable JSON report of every point. *)
+let faults cfg =
+  Report.section
+    (Printf.sprintf
+       "Fault sweep: schedule validity and retransmission overhead under uniform loss \
+        (%d seeds; reliable layer at default tuning)"
+       cfg.seeds);
+  let losses = [ 0.0; 0.05; 0.1; 0.2; 0.3 ] in
+  let families =
+    [
+      ("udg", fun rng -> fst (Gen.udg rng ~n:40 ~side:6. ~radius:1.));
+      ("gnp", fun rng -> Gen.gnp rng ~n:40 ~p:0.08);
+    ]
+  in
+  let run_algo algo faults rng g =
+    match algo with
+    | `Distmis ->
+        let r = Dist_mis.run ?faults ~mis:(Mis.Luby rng) ~variant:Dist_mis.Gbg g in
+        (r.Dist_mis.schedule, r.Dist_mis.stats)
+    | `Dfs ->
+        let r = Dfs_sched.run ?faults g in
+        (r.Dfs_sched.schedule, r.Dfs_sched.stats)
+  in
+  let json_points = Buffer.create 1024 in
+  List.iter
+    (fun (fam, make_graph) ->
+      List.iter
+        (fun (algo_name, algo) ->
+          let base_rounds = ref nan and base_msgs = ref nan in
+          let rows =
+            List.map
+              (fun loss ->
+                let all_valid = ref true in
+                let samples =
+                  List.init cfg.seeds (fun k ->
+                      let rng = rng_for cfg k in
+                      let g = make_graph rng in
+                      let faults =
+                        if loss = 0. then None
+                        else
+                          Some
+                            (Fdlsp_sim.Fault.uniform
+                               ~seed:(cfg.base_seed + (977 * k) + int_of_float (loss *. 1000.))
+                               loss)
+                      in
+                      let sched, st = run_algo algo faults rng g in
+                      if not (Schedule.valid sched) then all_valid := false;
+                      st)
+                in
+                let pick f =
+                  Report.mean (List.map (fun st -> float_of_int (f st)) samples)
+                in
+                let rounds = pick (fun s -> s.Fdlsp_sim.Stats.rounds) in
+                let messages = pick (fun s -> s.Fdlsp_sim.Stats.messages) in
+                let dropped = pick (fun s -> s.Fdlsp_sim.Stats.dropped) in
+                let retransmits = pick (fun s -> s.Fdlsp_sim.Stats.retransmits) in
+                if loss = 0. then begin
+                  base_rounds := rounds;
+                  base_msgs := messages
+                end;
+                let round_x = rounds /. !base_rounds in
+                let msg_x = messages /. !base_msgs in
+                if Buffer.length json_points > 0 then Buffer.add_char json_points ',';
+                Buffer.add_string json_points
+                  (Printf.sprintf
+                     "{\"family\":%S,\"algo\":%S,\"loss\":%g,\"valid\":%b,\
+                      \"rounds\":%.1f,\"messages\":%.1f,\"dropped\":%.1f,\
+                      \"retransmits\":%.1f,\"round_overhead\":%.3f,\
+                      \"message_overhead\":%.3f}"
+                     fam algo_name loss !all_valid rounds messages dropped retransmits
+                     round_x msg_x);
+                [
+                  Printf.sprintf "%.2f" loss;
+                  string_of_bool !all_valid;
+                  Report.f1 rounds;
+                  Report.f1 messages;
+                  Report.f1 dropped;
+                  Report.f1 retransmits;
+                  Printf.sprintf "%.2f" round_x;
+                  Printf.sprintf "%.2f" msg_x;
+                ])
+              losses
+          in
+          Printf.printf "%s / %s:\n" fam algo_name;
+          print_string
+            (Report.table
+               ~header:
+                 [
+                   "loss"; "valid"; "rounds"; "messages"; "dropped"; "retransmits";
+                   "rounds_x"; "messages_x";
+                 ]
+               rows);
+          print_newline ())
+        [ ("distmis", `Distmis); ("dfs", `Dfs) ])
+    families;
+  Printf.printf "JSON: {\"experiment\":\"faults\",\"seeds\":%d,\"points\":[%s]}\n"
+    cfg.seeds
+    (Buffer.contents json_points)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (beyond the paper's figures)                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -19,6 +19,7 @@ let experiments =
     ("fig13", Experiments.fig13);
     ("fig14", Experiments.fig14);
     ("fig15", Experiments.fig15);
+    ("faults", Experiments.faults);
     ("ablation", Experiments.ablation);
     ("timing", fun (_ : Experiments.config) -> Timing.run ());
   ]

@@ -212,10 +212,7 @@ let schedule_cmd =
       (Printf.sprintf "slots=%d lower_bound=%d upper_bound=%d valid=%b\n"
          (Schedule.num_slots sched) (Bounds.lower g) (Bounds.upper g) (Schedule.valid sched));
     (match stats with
-    | Some s ->
-        Buffer.add_string buf
-          (Printf.sprintf "rounds=%d messages=%d\n" s.Fdlsp_sim.Stats.rounds
-             s.Fdlsp_sim.Stats.messages)
+    | Some s -> Buffer.add_string buf (Format.asprintf "%a\n" Fdlsp_sim.Stats.pp_kv s)
     | None -> ());
     if show then Buffer.add_string buf (Format.asprintf "%a" Schedule.pp sched);
     emit out (Buffer.contents buf)
@@ -223,6 +220,150 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run a TDMA link scheduling algorithm")
     Term.(const run $ graph_source $ algo $ seed_arg $ show $ out_arg $ save $ verbose_arg)
+
+(* --- faults ----------------------------------------------------------- *)
+
+type fault_algo = F_dfs | F_distmis | F_distmis_general
+
+let faults_cmd =
+  let algo =
+    let doc = "Algorithm to run over the faulty network: dfs | distmis | distmis-general." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("dfs", F_dfs); ("distmis", F_distmis); ("distmis-general", F_distmis_general) ]) F_dfs
+      & info [ "a"; "algo" ] ~doc)
+  in
+  let rate name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc) in
+  let drop =
+    let doc = "Per-transmission drop probability." in
+    Arg.(value & opt float 0.1 & info [ "drop" ] ~docv:"P" ~doc)
+  in
+  let duplicate = rate "duplicate" "Per-transmission duplication probability." in
+  let reorder = rate "reorder" "Probability a copy escapes FIFO ordering." in
+  let corrupt = rate "corrupt" "Per-transmission corruption (checksum-failure) probability." in
+  let crashes =
+    let doc =
+      "After scheduling, crash $(docv) random nodes one at a time and patch the \
+       schedule with local repair; each node recovers after the whole batch has \
+       failed, measuring slot drift and repair locality."
+    in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"K" ~doc)
+  in
+  let timeout =
+    let doc = "Retransmission timeout of the reliable layer (time units/rounds)." in
+    Arg.(value & opt float Fdlsp_sim.Reliable.default.Fdlsp_sim.Reliable.timeout
+         & info [ "timeout" ] ~docv:"T" ~doc)
+  in
+  let json =
+    let doc = "Emit a JSON report instead of key=value lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run graph algo seed drop duplicate reorder corrupt crashes timeout json out verbose =
+    setup_logs verbose;
+    let g = or_die graph in
+    let open Fdlsp_sim in
+    let plan =
+      try Fault.uniform ~seed ~duplicate ~reorder ~corrupt drop
+      with Invalid_argument m -> or_die (Error m)
+    in
+    let config = { Reliable.default with Reliable.timeout } in
+    let rng () = Random.State.make [| seed; 0xA5 |] in
+    let algo_name, run_one =
+      match algo with
+      | F_dfs ->
+          ( "dfs",
+            fun faults ->
+              let r = Dfs_sched.run ?faults ~reliable:config g in
+              (r.Dfs_sched.schedule, r.Dfs_sched.stats) )
+      | F_distmis ->
+          ( "distmis",
+            fun faults ->
+              let r =
+                Dist_mis.run ?faults ~reliable:config ~mis:(Mis.Luby (rng ()))
+                  ~variant:Dist_mis.Gbg g
+              in
+              (r.Dist_mis.schedule, r.Dist_mis.stats) )
+      | F_distmis_general ->
+          ( "distmis-general",
+            fun faults ->
+              let r =
+                Dist_mis.run ?faults ~reliable:config ~mis:(Mis.Luby (rng ()))
+                  ~variant:Dist_mis.General g
+              in
+              (r.Dist_mis.schedule, r.Dist_mis.stats) )
+    in
+    let guard f = try f () with Invalid_argument m -> or_die (Error m) in
+    let _, base_stats = guard (fun () -> run_one None) in
+    let sched, stats = guard (fun () -> run_one (Some plan)) in
+    let sched = Schedule.normalize sched in
+    let valid = Result.is_ok (Schedule.validate sched) in
+    let ratio a b = if b = 0 then Float.nan else float_of_int a /. float_of_int b in
+    let churn =
+      if crashes <= 0 then None
+      else begin
+        let n = Graph.n g in
+        let k = min crashes n in
+        let crash_rng = Random.State.make [| seed; 0xC4A5 |] in
+        (* k distinct victims, crashing at t = 1..k and all recovering
+           once the whole batch is down *)
+        let victims = Array.init n Fun.id in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int crash_rng (i + 1) in
+          let tmp = victims.(i) in
+          victims.(i) <- victims.(j);
+          victims.(j) <- tmp
+        done;
+        let crash_list =
+          List.init k (fun i ->
+              { Fault.node = victims.(i);
+                at = float_of_int (i + 1);
+                until = Some (float_of_int (k + i + 1)) })
+        in
+        Some (Churn.run sched (Fault.make ~seed ~crashes:crash_list ()))
+      end
+    in
+    let buf = Buffer.create 512 in
+    if json then begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"algo\":%S,\"nodes\":%d,\"edges\":%d,\"drop\":%g,\"duplicate\":%g,\
+            \"reorder\":%g,\"corrupt\":%g,\"slots\":%d,\"valid\":%b,\
+            \"baseline\":%s,\"faulty\":%s,\"round_overhead\":%.4f,\
+            \"message_overhead\":%.4f"
+           algo_name (Graph.n g) (Graph.m g) drop duplicate reorder corrupt
+           (Schedule.num_slots sched) valid (Stats.to_json base_stats)
+           (Stats.to_json stats)
+           (ratio stats.Stats.rounds base_stats.Stats.rounds)
+           (ratio stats.Stats.messages base_stats.Stats.messages));
+      (match churn with
+      | Some r -> Buffer.add_string buf (",\"churn\":" ^ Churn.report_to_json r)
+      | None -> ());
+      Buffer.add_string buf "}\n"
+    end
+    else begin
+      Buffer.add_string buf
+        (Printf.sprintf "algo=%s nodes=%d edges=%d drop=%g duplicate=%g reorder=%g corrupt=%g\n"
+           algo_name (Graph.n g) (Graph.m g) drop duplicate reorder corrupt);
+      Buffer.add_string buf (Format.asprintf "baseline: %a\n" Stats.pp_kv base_stats);
+      Buffer.add_string buf (Format.asprintf "faulty:   %a\n" Stats.pp_kv stats);
+      Buffer.add_string buf
+        (Printf.sprintf "slots=%d valid=%b round_overhead=%.2f message_overhead=%.2f\n"
+           (Schedule.num_slots sched) valid
+           (ratio stats.Stats.rounds base_stats.Stats.rounds)
+           (ratio stats.Stats.messages base_stats.Stats.messages));
+      match churn with
+      | Some r -> Buffer.add_string buf (Format.asprintf "%a\n" Churn.pp_report r)
+      | None -> ()
+    end;
+    emit out (Buffer.contents buf);
+    if not valid then exit 2
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a scheduler over a faulty network and patch crash damage locally")
+    Term.(
+      const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
+      $ crashes $ timeout $ json $ out_arg $ verbose_arg)
 
 (* --- bounds ----------------------------------------------------------- *)
 
@@ -290,4 +431,7 @@ let () =
     Cmd.info "fdlsp" ~version:"1.0.0"
       ~doc:"Distributed TDMA link scheduling for sensor networks (FDLSP)"
   in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; schedule_cmd; validate_cmd; bounds_cmd; dot_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; schedule_cmd; validate_cmd; bounds_cmd; dot_cmd; faults_cmd ]))

@@ -1,0 +1,135 @@
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+let src = Logs.Src.create "fdlsp.churn" ~doc:"crash/repair churn driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type kind = Crash | Recover
+
+type event = {
+  time : float;
+  kind : kind;
+  node : int;
+  recolored : int;
+  slots : int;
+  valid : bool;
+}
+
+type report = {
+  initial_slots : int;
+  final_slots : int;
+  recompute_slots : int;
+  total_recolored : int;
+  events : event list;
+}
+
+(* Expand crash windows into a single (time, kind, node) stream.  A
+   recovery shares its crash's position in the input, so sorting by
+   (time, position, kind) keeps a zero-length window well-ordered:
+   crash before recover. *)
+let event_stream plan =
+  let items = ref [] in
+  List.iteri
+    (fun i (c : Fault.crash) ->
+      items := (c.Fault.at, i, Crash, c.Fault.node) :: !items;
+      match c.Fault.until with
+      | Some t -> items := (t, i, Recover, c.Fault.node) :: !items
+      | None -> ())
+    (Fault.crashes plan);
+  List.sort
+    (fun (t1, i1, k1, _) (t2, i2, k2, _) ->
+      match compare t1 t2 with
+      | 0 -> (
+          match compare i1 i2 with
+          | 0 -> compare (k1 = Recover) (k2 = Recover)
+          | c -> c)
+      | c -> c)
+    !items
+
+let run sched plan =
+  let state = Repair.of_schedule sched in
+  let g0 = Repair.graph state in
+  let n = Graph.n g0 in
+  let original_nbrs = Array.init n (fun v -> Graph.neighbors g0 v) in
+  let alive = Array.make n true in
+  let initial_slots = Repair.num_slots state in
+  let state = ref state in
+  let events = ref [] in
+  let record time kind node recolored =
+    let slots = Repair.num_slots !state in
+    let valid = Result.is_ok (Schedule.validate (Repair.schedule !state)) in
+    Log.debug (fun m ->
+        m "t=%g %s node %d: %d recolored, %d slots%s" time
+          (match kind with Crash -> "crash" | Recover -> "recover")
+          node recolored slots
+          (if valid then "" else " INVALID"));
+    events := { time; kind; node; recolored; slots; valid } :: !events
+  in
+  List.iter
+    (fun (time, _, kind, node) ->
+      if node < 0 || node >= n then
+        invalid_arg (Printf.sprintf "Churn.run: crash names unknown node %d" node);
+      match kind with
+      | Crash ->
+          if alive.(node) then begin
+            alive.(node) <- false;
+            state := Repair.remove_node !state node;
+            record time Crash node 0
+          end
+      | Recover ->
+          if not alive.(node) then begin
+            alive.(node) <- true;
+            let nbrs = Array.to_list original_nbrs.(node) in
+            let nbrs = List.filter (fun w -> alive.(w)) nbrs in
+            let next, recolored = Repair.move_node !state node ~new_neighbors:nbrs in
+            state := next;
+            record time Recover node recolored
+          end)
+    (event_stream plan);
+  let events = List.rev !events in
+  {
+    initial_slots;
+    final_slots = Repair.num_slots !state;
+    recompute_slots = Repair.recompute !state;
+    total_recolored = List.fold_left (fun acc e -> acc + e.recolored) 0 events;
+    events;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>initial_slots=%d final_slots=%d recompute_slots=%d total_recolored=%d \
+     events=%d"
+    r.initial_slots r.final_slots r.recompute_slots r.total_recolored
+    (List.length r.events);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  t=%-6g %-7s node=%-4d recolored=%-3d slots=%d%s"
+        e.time
+        (match e.kind with Crash -> "crash" | Recover -> "recover")
+        e.node e.recolored e.slots
+        (if e.valid then "" else " INVALID"))
+    r.events;
+  Format.fprintf ppf "@]"
+
+let report_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"initial_slots\":%d,\"final_slots\":%d,\"recompute_slots\":%d,\
+        \"total_recolored\":%d,\"events\":["
+       r.initial_slots r.final_slots r.recompute_slots r.total_recolored);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"time\":%g,\"kind\":\"%s\",\"node\":%d,\"recolored\":%d,\
+            \"slots\":%d,\"valid\":%b}"
+           e.time
+           (match e.kind with Crash -> "crash" | Recover -> "recover")
+           e.node e.recolored e.slots e.valid))
+    r.events;
+  Buffer.add_string b "]}";
+  Buffer.contents b

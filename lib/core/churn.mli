@@ -1,0 +1,46 @@
+(** Crash/recovery churn driver: wires the crash windows of a
+    {!Fdlsp_sim.Fault.plan} to the local repair rules of {!Repair}.
+
+    Starting from a valid schedule, the driver replays the plan's crash
+    events in time order: a crash removes the node's links
+    ({!Repair.remove_node}, validity is monotone), a recovery re-attaches
+    the node to those of its original neighbors that are alive at that
+    moment ({!Repair.move_node}, first-fit against distance-2 knowledge).
+    Every step records the repair locality (arcs recolored) and the slot
+    count, so the report quantifies both churn-induced slot drift and how
+    local the repairs stayed. *)
+
+open Fdlsp_color
+
+type kind = Crash | Recover
+
+type event = {
+  time : float;
+  kind : kind;
+  node : int;
+  recolored : int;  (** arcs (re)colored by this repair — the locality metric *)
+  slots : int;  (** slots in use after the repair *)
+  valid : bool;  (** {!Schedule.validate} verdict after the repair *)
+}
+
+type report = {
+  initial_slots : int;
+  final_slots : int;
+  recompute_slots : int;
+      (** slots of a from-scratch DFS schedule on the final topology —
+          the yardstick for drift *)
+  total_recolored : int;
+  events : event list;  (** in replay order *)
+}
+
+val run : Schedule.t -> Fdlsp_sim.Fault.plan -> report
+(** [run sched plan] replays [plan]'s crash windows against [sched].
+    Raises [Invalid_argument] if [sched] does not validate, or if a
+    crash names a node outside the graph.  Crashes of an
+    already-crashed node and recoveries of an alive node are ignored
+    (overlapping windows collapse). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string
+(** Flat JSON object (summary fields plus an [events] array). *)

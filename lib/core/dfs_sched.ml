@@ -157,7 +157,7 @@ let default_roots g =
   done;
   Array.to_list roots
 
-let run ?(policy = Max_degree) ?(delay = Async.Unit) ?roots g =
+let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots g =
   let roots = match roots with Some r -> r | None -> default_roots g in
   let init _ =
     {
@@ -186,8 +186,18 @@ let run ?(policy = Max_degree) ?(delay = Async.Unit) ?roots g =
     | Reply t | Announce t | Forwarded t -> Array.length t
     | Token | Return | Query | Ack -> 1
   in
+  let reliable =
+    (* the protocol assumes exactly-once FIFO channels, so a fault plan
+       with lossy links implies the ARQ layer even if the caller did not
+       tune it *)
+    match (reliable, faults) with
+    | (Some _ as r), _ -> r
+    | None, Some p when not (Fault.is_none p) -> Some Reliable.default
+    | None, _ -> None
+  in
   let states, stats =
-    Async.run ~delay ~weight g ~init ~starts ~handler:(handler g policy)
+    Async.run ~delay ?faults ?reliable ~weight g ~init ~starts
+      ~handler:(handler g policy)
   in
   let sched = Schedule.make g in
   Array.iter

@@ -31,9 +31,17 @@ type result = {
 val run :
   ?policy:next_policy ->
   ?delay:Async.delay ->
+  ?faults:Fault.plan ->
+  ?reliable:Reliable.config ->
   ?roots:int list ->
   Graph.t ->
   result
 (** [roots] designates one initiator per connected component (defaults
     to the max-degree node of each component); supplying a root for only
-    some components raises once the run leaves arcs uncolored. *)
+    some components raises once the run leaves arcs uncolored.
+
+    [faults] injects channel faults (see {!Fdlsp_sim.Fault}).  The token
+    protocol assumes exactly-once FIFO delivery, so a non-trivial fault
+    plan automatically enables the ack/retransmit layer of
+    {!Fdlsp_sim.Async} with {!Fdlsp_sim.Reliable.default} unless
+    [reliable] overrides the tuning. *)

@@ -93,7 +93,7 @@ let halo g chosen =
   done;
   dist
 
-let color_phase g sched ~chosen ~outgoing_only =
+let color_phase ~engine g sched ~chosen ~outgoing_only =
   let dist = halo g chosen in
   let own_table v =
     let out = ref [] in
@@ -138,7 +138,7 @@ let color_phase g sched ~chosen ~outgoing_only =
         end
         else (state, Sync.Halt [])
   in
-  let states, stats = Sync.run ~weight:Array.length g ~init ~step in
+  let states, stats = engine.Reliable.run ~weight:Array.length g ~init ~step in
   Array.iter
     (fun s ->
       List.iter
@@ -152,7 +152,12 @@ let color_phase g sched ~chosen ~outgoing_only =
 
 (* --- the full algorithm ------------------------------------------- *)
 
-let run ~mis ~variant g =
+let run ?faults ?reliable ~mis ~variant g =
+  let engine =
+    match faults with
+    | None -> Reliable.raw_runner
+    | Some plan -> Reliable.runner ~faults:plan ?config:reliable ()
+  in
   let n = Graph.n g in
   let dist = hop_distance variant in
   let outgoing_only = variant = General in
@@ -163,7 +168,7 @@ let run ~mis ~variant g =
   let any arr = Array.exists Fun.id arr in
   while any active do
     incr outer;
-    let s, mis_stats = Mis.compute ~algo:mis g ~active in
+    let s, mis_stats = Mis.compute ~engine ~algo:mis g ~active in
     Log.debug (fun m ->
         m "outer %d: |S| = %d (%d rounds)" !outer
           (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s)
@@ -174,11 +179,11 @@ let run ~mis ~variant g =
       incr inner;
       let vg, back = virtual_graph g remaining ~dist in
       let vactive = Array.make (Graph.n vg) true in
-      let s_virtual, sec_stats = Mis.compute ~algo:mis vg ~active:vactive in
+      let s_virtual, sec_stats = Mis.compute ~engine ~algo:mis vg ~active:vactive in
       stats := Stats.add !stats (Stats.scale_rounds dist sec_stats);
       let chosen = Array.make n false in
       Array.iteri (fun i v -> if s_virtual.(i) then chosen.(v) <- true) back;
-      let phase_stats = color_phase g sched ~chosen ~outgoing_only in
+      let phase_stats = color_phase ~engine g sched ~chosen ~outgoing_only in
       Log.debug (fun m ->
           m "inner %d: %d winners colored" !inner
             (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 chosen));

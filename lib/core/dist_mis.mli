@@ -39,6 +39,20 @@ type result = {
   inner_iters : int;  (** secondary MIS computations, total *)
 }
 
-val run : mis:Mis.algo -> variant:variant -> Graph.t -> result
+val run :
+  ?faults:Fault.plan ->
+  ?reliable:Reliable.config ->
+  mis:Mis.algo ->
+  variant:variant ->
+  Graph.t ->
+  result
 (** Produces a complete valid schedule (checked by the test suite via
-    {!Fdlsp_color.Schedule.validate}). *)
+    {!Fdlsp_color.Schedule.validate}).
+
+    [faults] runs every synchronous exchange (primary and secondary MIS
+    phases and the gather/color phase) over the lossy channel of
+    {!Fdlsp_sim.Fault}, wrapped in the ack/retransmit layer of
+    {!Fdlsp_sim.Reliable} (tuned by [reliable], default
+    {!Fdlsp_sim.Reliable.default}), so the schedule stays correct under
+    message loss at the cost of retransmissions.  The GPS MIS pipeline
+    does not support fault injection (see {!Mis.compute}). *)

@@ -215,7 +215,7 @@ let run g =
     let rounds = (2 * waves) + (2 * vstats.Vizing.total_path_length) + !orientation_rounds in
     let messages = (2 * m * waves) + (2 * vstats.Vizing.total_path_length) + (2 * m * base_colors) in
     ( { schedule = sched;
-        stats = { Stats.rounds; messages; volume = messages };
+        stats = Stats.make ~rounds ~messages ();
         base_colors;
         injected_edges = !injected }
       : result )

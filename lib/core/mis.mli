@@ -20,11 +20,21 @@ type algo =
           [O(Δ² + log* n)] rounds, the right asymptotic shape for the
           paper's growth-bounded-graph bound *)
 
-val compute : algo:algo -> Graph.t -> active:bool array -> bool array * Stats.t
+val compute :
+  ?engine:Reliable.sync_runner ->
+  algo:algo ->
+  Graph.t ->
+  active:bool array ->
+  bool array * Stats.t
 (** [compute ~algo g ~active] runs the protocol among the nodes with
     [active.(v) = true] (the residual graph); inactive nodes do not
     participate.  Returns the membership array (always [false] for
-    inactive nodes) and the communication stats. *)
+    inactive nodes) and the communication stats.
+
+    [engine] selects the synchronous channel (default: the raw
+    fault-free engine); pass [Reliable.runner ~faults ()] to run the
+    priority-based subroutines over a lossy channel.  The GPS pipeline
+    rejects faulty engines with [Invalid_argument]. *)
 
 val is_independent : Graph.t -> bool array -> bool
 (** No two members are adjacent. *)

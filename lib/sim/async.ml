@@ -50,19 +50,36 @@ module Heap = struct
     top
 end
 
-type 'msg event = Deliver of { src : int; dst : int; payload : 'msg }
+type 'msg event =
+  | Deliver of { src : int; dst : int; payload : 'msg }
+      (** unreliable direct delivery (no ARQ) *)
+  | RData of { src : int; dst : int; seq : int; payload : 'msg }
+  | RAck of { src : int; dst : int; seq : int }
+      (** [src] is the acker, [dst] the original sender *)
+  | Rto of { src : int; dst : int; seq : int; interval : float }
+      (** retransmission timer at the sender *)
 
 type 'msg engine = {
   g : Graph.t;
   heap : 'msg event Heap.t;
   delay : delay;
   weight : 'msg -> int;
+  session : Fault.session option;
+  corrupt : ('msg -> 'msg) option;
+  rel : Reliable.config option;
   mutable seq : int;
   mutable clock : float;
   mutable sent : int;
   mutable volume : int;
+  mutable retransmits : int;
+  mutable last_user : float;  (* time of the last user-level delivery *)
   (* FIFO guarantee: next admissible delivery time per directed channel *)
   channel_front : (int * int, float) Hashtbl.t;
+  (* ARQ state, used only when [rel] is set *)
+  tx_seq : (int * int, int) Hashtbl.t;
+  unacked : (int * int * int, 'msg * int) Hashtbl.t;  (* payload, tries *)
+  rx_next : (int * int, int) Hashtbl.t;
+  rx_buf : (int * int * int, 'msg) Hashtbl.t;
 }
 
 type 'msg ctx = { engine : 'msg engine; node : int }
@@ -71,65 +88,220 @@ let self c = c.node
 let neighbors c = Graph.neighbors c.engine.g c.node
 let now c = c.engine.clock
 
+let bad_delay = "Async: Uniform delay requires 0 < lo <= hi"
+
 let draw_delay e =
   match e.delay with
   | Unit -> 1.
   | Uniform (rng, lo, hi) ->
-      if lo <= 0. || hi < lo then invalid_arg "Async: bad delay bounds";
+      if lo <= 0. || lo > hi then invalid_arg bad_delay;
       lo +. Random.State.float rng (hi -. lo)
 
-let send c dst payload =
-  let e = c.engine in
-  if not (Graph.mem_edge e.g c.node dst) then
-    invalid_arg
-      (Printf.sprintf "Async.send: node %d sent to non-neighbor %d" c.node dst);
+let schedule e time ev =
+  Heap.push e.heap time e.seq ev;
+  e.seq <- e.seq + 1
+
+let crashed_now e v = match e.session with
+  | None -> false
+  | Some s -> Fault.crashed s v e.clock
+
+(* FIFO-clamped arrival time on channel (src, dst) *)
+let fifo_arrival e src dst =
   let arrival = e.clock +. draw_delay e in
-  let key = (c.node, dst) in
+  let key = (src, dst) in
   let arrival =
     match Hashtbl.find_opt e.channel_front key with
     | Some front when front > arrival -> front
     | _ -> arrival
   in
   Hashtbl.replace e.channel_front key arrival;
+  arrival
+
+let send_plain e src dst payload =
+  match e.session with
+  | None -> schedule e (fifo_arrival e src dst) (Deliver { src; dst; payload })
+  | Some s ->
+      let v = Fault.transmit s ~src ~dst in
+      for _ = 1 to v.Fault.copies do
+        let payload =
+          if v.Fault.corrupted then
+            match e.corrupt with Some f -> f payload | None -> payload
+          else payload
+        in
+        (* a reordered copy escapes the FIFO clamp *)
+        let arrival =
+          if v.Fault.reordered then e.clock +. draw_delay e else fifo_arrival e src dst
+        in
+        schedule e arrival (Deliver { src; dst; payload })
+      done
+
+(* Wire-level ARQ transmission: no FIFO clamp (sequence numbers restore
+   order); corrupted copies fail their checksum and vanish. *)
+let transmit_rdata e src dst sq payload =
+  match e.session with
+  | None -> schedule e (e.clock +. draw_delay e) (RData { src; dst; seq = sq; payload })
+  | Some s ->
+      let v = Fault.transmit s ~src ~dst in
+      for _ = 1 to v.Fault.copies do
+        if v.Fault.corrupted then Fault.count_drop s
+        else schedule e (e.clock +. draw_delay e) (RData { src; dst; seq = sq; payload })
+      done
+
+let transmit_rack e src dst sq =
+  e.sent <- e.sent + 1;
+  e.volume <- e.volume + 1;
+  match e.session with
+  | None -> schedule e (e.clock +. draw_delay e) (RAck { src; dst; seq = sq })
+  | Some s ->
+      let v = Fault.transmit s ~src ~dst in
+      for _ = 1 to v.Fault.copies do
+        if v.Fault.corrupted then Fault.count_drop s
+        else schedule e (e.clock +. draw_delay e) (RAck { src; dst; seq = sq })
+      done
+
+let send_arq e cfg src dst payload =
+  let key = (src, dst) in
+  let sq = match Hashtbl.find_opt e.tx_seq key with Some s -> s | None -> 0 in
+  Hashtbl.replace e.tx_seq key (sq + 1);
+  Hashtbl.replace e.unacked (src, dst, sq) (payload, 0);
+  transmit_rdata e src dst sq payload;
+  schedule e
+    (e.clock +. cfg.Reliable.timeout)
+    (Rto { src; dst; seq = sq; interval = cfg.Reliable.timeout })
+
+let send c dst payload =
+  let e = c.engine in
+  if not (Graph.mem_edge e.g c.node dst) then
+    invalid_arg
+      (Printf.sprintf "Async.send: node %d sent to non-neighbor %d" c.node dst);
   e.sent <- e.sent + 1;
   e.volume <- e.volume + max 1 (e.weight payload);
-  Heap.push e.heap arrival e.seq (Deliver { src = c.node; dst; payload });
-  e.seq <- e.seq + 1
+  match e.rel with
+  | None -> send_plain e c.node dst payload
+  | Some cfg -> send_arq e cfg c.node dst payload
 
 type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 
 exception Too_many_events of int
 
-let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) g ~init ~starts
-    ~handler =
+let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults ?corrupt
+    ?reliable g ~init ~starts ~handler =
+  (match delay with
+  | Uniform (_, lo, hi) when lo <= 0. || lo > hi -> invalid_arg bad_delay
+  | _ -> ());
+  (match reliable with
+  | Some cfg ->
+      if cfg.Reliable.timeout < 1. then invalid_arg "Reliable: timeout must be >= 1";
+      if cfg.Reliable.backoff < 1. then invalid_arg "Reliable: backoff must be >= 1";
+      if cfg.Reliable.max_interval < cfg.Reliable.timeout then
+        invalid_arg "Reliable: max_interval below timeout"
+  | None -> ());
+  let session =
+    match faults with
+    | Some p when not (Fault.is_none p) -> Some (Fault.start p)
+    | _ -> None
+  in
   let engine =
     {
       g;
       heap = Heap.create ();
       delay;
       weight;
+      session;
+      corrupt;
+      rel = reliable;
       seq = 0;
       clock = 0.;
       sent = 0;
       volume = 0;
+      retransmits = 0;
+      last_user = 0.;
       channel_front = Hashtbl.create 64;
+      tx_seq = Hashtbl.create 64;
+      unacked = Hashtbl.create 64;
+      rx_next = Hashtbl.create 64;
+      rx_buf = Hashtbl.create 64;
     }
   in
   let states = Array.init (Graph.n g) init in
   List.iter
-    (fun (v, action) -> states.(v) <- action { engine; node = v } states.(v))
+    (fun (v, action) ->
+      if not (crashed_now engine v) then
+        states.(v) <- action { engine; node = v } states.(v))
     starts;
+  let deliver_user ~src ~dst payload =
+    states.(dst) <- handler { engine; node = dst } states.(dst) ~sender:src payload;
+    engine.last_user <- engine.clock
+  in
   let events = ref 0 in
   while not (Heap.is_empty engine.heap) do
     incr events;
     if !events > max_events then raise (Too_many_events max_events);
-    let time, _, Deliver { src; dst; payload } = Heap.pop engine.heap in
+    let time, _, ev = Heap.pop engine.heap in
     engine.clock <- time;
-    states.(dst) <- handler { engine; node = dst } states.(dst) ~sender:src payload
+    match ev with
+    | Deliver { src; dst; payload } ->
+        if crashed_now engine dst then Fault.count_drop (Option.get session)
+        else deliver_user ~src ~dst payload
+    | RData { src; dst; seq; payload } ->
+        if crashed_now engine dst then Fault.count_drop (Option.get session)
+        else begin
+          transmit_rack engine dst src seq;
+          let key = (src, dst) in
+          let expected =
+            match Hashtbl.find_opt engine.rx_next key with Some x -> x | None -> 0
+          in
+          if seq >= expected then Hashtbl.replace engine.rx_buf (src, dst, seq) payload;
+          let rec flush exp =
+            match Hashtbl.find_opt engine.rx_buf (src, dst, exp) with
+            | Some p ->
+                Hashtbl.remove engine.rx_buf (src, dst, exp);
+                Hashtbl.replace engine.rx_next key (exp + 1);
+                deliver_user ~src ~dst p;
+                flush (exp + 1)
+            | None -> ()
+          in
+          flush
+            (match Hashtbl.find_opt engine.rx_next key with Some x -> x | None -> 0)
+        end
+    | RAck { src; dst; seq } ->
+        (* [dst] is the original sender waiting on this ack *)
+        if crashed_now engine dst then Fault.count_drop (Option.get session)
+        else Hashtbl.remove engine.unacked (dst, src, seq)
+    | Rto { src; dst; seq; interval } -> (
+        match Hashtbl.find_opt engine.unacked (src, dst, seq) with
+        | None -> ()  (* acknowledged *)
+        | Some (payload, tries) ->
+            let cfg = Option.get engine.rel in
+            if crashed_now engine src then
+              (* sender down: retry once it might be back *)
+              schedule engine (time +. interval) (Rto { src; dst; seq; interval })
+            else (
+              match cfg.Reliable.max_retries with
+              | Some budget when tries >= budget ->
+                  Hashtbl.remove engine.unacked (src, dst, seq);
+                  (match session with Some s -> Fault.count_drop s | None -> ())
+              | _ ->
+                  Hashtbl.replace engine.unacked (src, dst, seq) (payload, tries + 1);
+                  engine.retransmits <- engine.retransmits + 1;
+                  engine.sent <- engine.sent + 1;
+                  engine.volume <- engine.volume + max 1 (engine.weight payload);
+                  transmit_rdata engine src dst seq payload;
+                  let interval =
+                    Float.min cfg.Reliable.max_interval (interval *. cfg.Reliable.backoff)
+                  in
+                  schedule engine (time +. interval) (Rto { src; dst; seq; interval })))
   done;
+  let dropped, duplicated =
+    match session with None -> (0, 0) | Some s -> (Fault.dropped s, Fault.duplicated s)
+  in
+  let finish =
+    match (session, reliable) with
+    | None, None -> engine.clock  (* every event was a user delivery *)
+    | _ -> engine.last_user
+  in
   ( states,
-    {
-      Stats.rounds = int_of_float (ceil engine.clock);
-      messages = engine.sent;
-      volume = engine.volume;
-    } )
+    Stats.make
+      ~rounds:(int_of_float (ceil finish))
+      ~messages:engine.sent ~volume:engine.volume ~dropped ~duplicated
+      ~retransmits:engine.retransmits () )

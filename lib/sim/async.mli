@@ -14,7 +14,8 @@ type delay =
   | Unit  (** every hop takes exactly 1 time unit *)
   | Uniform of Random.State.t * float * float
       (** uniform in [lo, hi] with [0 < lo <= hi]; delays bounded by 1
-          recover the classic normalized asynchronous time measure *)
+          recover the classic normalized asynchronous time measure.
+          Invalid bounds raise [Invalid_argument] when {!run} starts. *)
 
 type 'msg ctx
 
@@ -35,6 +36,9 @@ val run :
   ?delay:delay ->
   ?max_events:int ->
   ?weight:('msg -> int) ->
+  ?faults:Fault.plan ->
+  ?corrupt:('msg -> 'msg) ->
+  ?reliable:Reliable.config ->
   Graph.t ->
   init:(int -> 'state) ->
   starts:(int * ('msg ctx -> 'state -> 'state)) list ->
@@ -45,5 +49,23 @@ val run :
     defaults to [1_000_000]; exceeding it raises {!Too_many_events}.
     [weight] gives a message's payload size for the [volume] statistic
     (default 1, clamped to at least 1).
-    Returns final states and stats ([rounds] = ceiling of completion
-    time, [messages] = messages delivered). *)
+    Returns final states and stats ([rounds] = ceiling of the last
+    user-level delivery time, [messages] = messages sent, including
+    acks and retransmissions of the reliable layer).
+
+    [faults] injects channel/node faults (see {!Fault}): dropped
+    messages never arrive, duplicates are delivered twice, reordered
+    copies escape the per-channel FIFO clamp, corrupted payloads pass
+    through [corrupt] (identity when omitted), and messages to a
+    crashed node are dropped; a crashed node handles nothing until it
+    recovers, and its spontaneous start is skipped if it is down at
+    time 0.
+
+    [reliable] runs a per-channel ack/retransmit (ARQ) layer with
+    exponential backoff underneath [send]/[handler]: sequence numbers,
+    deduplication and in-order delivery give the protocol exactly-once
+    FIFO semantics over the faulty channel, at the cost of acks and
+    retransmissions (counted in [messages]/[retransmits]).  Corrupted
+    frames are discarded as checksum failures and retransmitted.  A
+    permanently crashed receiver makes the sender retransmit until
+    [max_retries] (if set) or {!Too_many_events}. *)

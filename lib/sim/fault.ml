@@ -1,0 +1,96 @@
+type link = { drop : float; duplicate : float; reorder : float; corrupt : float }
+
+let perfect = { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0. }
+
+let check_rate name p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Fault: %s rate %g outside [0, 1]" name p)
+
+let check_link l =
+  check_rate "drop" l.drop;
+  check_rate "duplicate" l.duplicate;
+  check_rate "reorder" l.reorder;
+  check_rate "corrupt" l.corrupt;
+  l
+
+let lossy ?(duplicate = 0.) ?(reorder = 0.) ?(corrupt = 0.) drop =
+  check_link { drop; duplicate; reorder; corrupt }
+
+type crash = { node : int; at : float; until : float option }
+
+type plan = {
+  seed : int;
+  default_link : link;
+  links : ((int * int) * link) list;
+  crashes : crash list;
+}
+
+let none = { seed = 0; default_link = perfect; links = []; crashes = [] }
+
+let check_crash c =
+  if c.node < 0 then invalid_arg "Fault: crash of a negative node id";
+  (match c.until with
+  | Some u when u <= c.at -> invalid_arg "Fault: crash recovery not after the crash"
+  | _ -> ());
+  c
+
+let make ?(seed = 0) ?(default_link = perfect) ?(links = []) ?(crashes = []) () =
+  ignore (check_link default_link);
+  List.iter (fun (_, l) -> ignore (check_link l)) links;
+  let crashes =
+    List.sort (fun a b -> compare (a.at, a.node) (b.at, b.node)) (List.map check_crash crashes)
+  in
+  { seed; default_link; links; crashes }
+
+let uniform ?(seed = 0) ?duplicate ?reorder ?corrupt drop =
+  make ~seed ~default_link:(lossy ?duplicate ?reorder ?corrupt drop) ()
+
+let is_none p = p.default_link = perfect && p.links = [] && p.crashes = []
+let seed p = p.seed
+let crashes p = p.crashes
+
+(* --- sessions ------------------------------------------------------- *)
+
+type session = {
+  plan : plan;
+  rng : Random.State.t;
+  mutable n_dropped : int;
+  mutable n_duplicated : int;
+}
+
+let start plan =
+  { plan; rng = Random.State.make [| 0x5EED; plan.seed |]; n_dropped = 0; n_duplicated = 0 }
+
+type verdict = { copies : int; reordered : bool; corrupted : bool }
+
+let link_of s ~src ~dst =
+  match List.assoc_opt (src, dst) s.plan.links with
+  | Some l -> l
+  | None -> s.plan.default_link
+
+let flip s p = p > 0. && Random.State.float s.rng 1. < p
+
+let transmit s ~src ~dst =
+  let l = link_of s ~src ~dst in
+  if flip s l.drop then begin
+    s.n_dropped <- s.n_dropped + 1;
+    { copies = 0; reordered = false; corrupted = false }
+  end
+  else begin
+    let copies = if flip s l.duplicate then 2 else 1 in
+    if copies = 2 then s.n_duplicated <- s.n_duplicated + 1;
+    { copies; reordered = flip s l.reorder; corrupted = flip s l.corrupt }
+  end
+
+let crashed s v t =
+  List.exists
+    (fun c ->
+      c.node = v && c.at <= t && match c.until with None -> true | Some u -> t < u)
+    s.plan.crashes
+
+let dead_forever s v t =
+  List.exists (fun c -> c.node = v && c.at <= t && c.until = None) s.plan.crashes
+
+let count_drop s = s.n_dropped <- s.n_dropped + 1
+let dropped s = s.n_dropped
+let duplicated s = s.n_duplicated

@@ -1,0 +1,97 @@
+(** Seeded, deterministic fault injection for both simulation engines.
+
+    A {!plan} is an immutable description of what can go wrong: per-link
+    drop / duplicate / reorder / corrupt probabilities and per-node
+    crash windows.  Engines turn a plan into a {!session} at [run] time;
+    the session owns a fresh PRNG derived from the plan's seed, so the
+    same plan replayed through the same engine on the same input yields
+    bit-identical executions (see the determinism tests).
+
+    Fault semantics, shared by both engines:
+    - {b drop}: the message vanishes in flight (counted).
+    - {b duplicate}: the channel delivers a second copy (counted).
+    - {b reorder}: the copy escapes the channel's FIFO discipline — the
+      synchronous engine delays it by one extra round, the asynchronous
+      engine redraws its delay without the FIFO clamp.
+    - {b corrupt}: the payload is passed through the engine's optional
+      [?corrupt] hook (or, under the reliable layer, treated as a
+      checksum failure and discarded for retransmission).
+    - {b crash}: while a node is inside one of its crash windows it
+      neither steps nor handles messages, and every message addressed to
+      it is dropped.  Recovery resumes the node with its pre-crash
+      state.  *)
+
+type link = {
+  drop : float;  (** probability a transmission is lost *)
+  duplicate : float;  (** probability the channel delivers two copies *)
+  reorder : float;  (** probability a copy escapes FIFO ordering *)
+  corrupt : float;  (** probability a copy is corrupted in flight *)
+}
+
+val perfect : link
+(** All probabilities 0. *)
+
+val lossy : ?duplicate:float -> ?reorder:float -> ?corrupt:float -> float -> link
+(** [lossy ~duplicate ~reorder ~corrupt drop]; omitted rates are 0.
+    Raises [Invalid_argument] if any rate is outside [0, 1]. *)
+
+type crash = {
+  node : int;
+  at : float;  (** crash time (a round number for the synchronous engine) *)
+  until : float option;  (** recovery time; [None] = never recovers *)
+}
+
+type plan
+
+val none : plan
+(** The empty plan: engines skip the fault machinery entirely. *)
+
+val make :
+  ?seed:int ->
+  ?default_link:link ->
+  ?links:((int * int) * link) list ->
+  ?crashes:crash list ->
+  unit ->
+  plan
+(** [links] overrides the default per directed channel [(src, dst)].
+    [seed] defaults to 0. *)
+
+val uniform :
+  ?seed:int -> ?duplicate:float -> ?reorder:float -> ?corrupt:float -> float -> plan
+(** [uniform drop]: every channel gets the same {!lossy} link. *)
+
+val is_none : plan -> bool
+val seed : plan -> int
+val crashes : plan -> crash list
+(** Crash events sorted by time. *)
+
+(** {2 Runtime sessions (consumed by the engines)} *)
+
+type session
+
+val start : plan -> session
+(** Fresh session with a PRNG seeded from the plan — deterministic. *)
+
+type verdict = {
+  copies : int;  (** 0 = dropped, 1 = normal, 2 = duplicated *)
+  reordered : bool;
+  corrupted : bool;
+}
+
+val transmit : session -> src:int -> dst:int -> verdict
+(** Draw the fate of one transmission.  Updates the drop/duplicate
+    counters. *)
+
+val crashed : session -> int -> float -> bool
+(** [crashed s v t]: is node [v] inside a crash window at time [t]? *)
+
+val dead_forever : session -> int -> float -> bool
+(** [dead_forever s v t]: is [v] crashed at [t] with no recovery ever
+    coming?  Engines use this to avoid waiting on a corpse. *)
+
+val count_drop : session -> unit
+(** Record an engine-observed loss that bypassed {!transmit} (e.g. a
+    delivery to a crashed node). *)
+
+val dropped : session -> int
+val duplicated : session -> int

@@ -1,0 +1,272 @@
+open Fdlsp_graph
+
+type config = {
+  timeout : float;
+  backoff : float;
+  max_interval : float;
+  max_retries : int option;
+}
+
+let default = { timeout = 4.; backoff = 2.; max_interval = 64.; max_retries = None }
+
+let check_config c =
+  if c.timeout < 1. then invalid_arg "Reliable: timeout must be >= 1";
+  if c.backoff < 1. then invalid_arg "Reliable: backoff must be >= 1";
+  if c.max_interval < c.timeout then invalid_arg "Reliable: max_interval below timeout"
+
+(* One data frame per (channel, logical round): the round's payload
+   batch, tagged with the round number (which doubles as the sequence
+   number) and whether the sender halted on this round. *)
+type 'msg frame =
+  | Data of { lround : int; payloads : 'msg list; halting : bool }
+  | Ack of int
+
+type 'msg pending = {
+  payloads : 'msg list;
+  halting : bool;
+  mutable next_tx : int;
+  mutable interval : float;
+  mutable tries : int;
+}
+
+type ('state, 'msg) rnode = {
+  mutable ustate : 'state;
+  participates : bool;
+  mutable ulive : bool;  (* still executing logical rounds *)
+  mutable lround : int;  (* next logical round to execute *)
+  pending : (int * int, 'msg pending) Hashtbl.t;  (* (nbr, lround) -> unacked *)
+  got : (int * int, 'msg list) Hashtbl.t;  (* (nbr, lround) -> payload batch *)
+  peer_halt : (int, int) Hashtbl.t;  (* nbr -> its halting round *)
+}
+
+let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config = default)
+    g ~init ~step =
+  check_config config;
+  let n = Graph.n g in
+  let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let session = Fault.start faults in
+  let nodes =
+    Array.init n (fun v ->
+        let ustate, participates = init v in
+        {
+          ustate;
+          participates;
+          ulive = participates;
+          lround = 1;
+          pending = Hashtbl.create 8;
+          got = Hashtbl.create 8;
+          peer_halt = Hashtbl.create 4;
+        })
+  in
+  (* physical delivery buffers: this round / next round / reordered (+2) *)
+  let cur = ref (Array.make n []) in
+  let nxt = ref (Array.make n []) in
+  let late = ref (Array.make n []) in
+  let messages = ref 0 and volume = ref 0 and retransmits = ref 0 in
+  let p = ref 0 in
+  let frame_volume = function
+    | Ack _ -> 1
+    | Data { payloads; _ } ->
+        max 1 (List.fold_left (fun acc m -> acc + max 1 (weight m)) 0 payloads)
+  in
+  let xmit src dst frame =
+    incr messages;
+    volume := !volume + frame_volume frame;
+    let verdict = Fault.transmit session ~src ~dst in
+    for _ = 1 to verdict.Fault.copies do
+      (* a corrupted copy fails its checksum on arrival: silently
+         discarded, recovered by retransmission *)
+      if verdict.Fault.corrupted then Fault.count_drop session
+      else begin
+        let buf = if verdict.Fault.reordered then late else nxt in
+        !buf.(dst) <- (src, frame) :: !buf.(dst)
+      end
+    done
+  in
+  let is_crashed v = Fault.crashed session v (float_of_int !p) in
+  (* Does v still need a data frame (w, lround = r) before advancing? *)
+  let expected v w r =
+    nodes.(w).participates
+    && match Hashtbl.find_opt nodes.(v).peer_halt w with Some h -> h >= r | None -> true
+  in
+  let can_advance v =
+    let nd = nodes.(v) in
+    nd.participates && nd.ulive
+    && (nd.lround = 1
+       || Graph.fold_neighbors g v
+            (fun acc w ->
+              acc
+              && ((not (expected v w (nd.lround - 1)))
+                 || Hashtbl.mem nd.got (w, nd.lround - 1)))
+            true)
+  in
+  let advance v =
+    let nd = nodes.(v) in
+    let r = nd.lround in
+    let inbox =
+      if r = 1 then []
+      else
+        Graph.fold_neighbors g v
+          (fun acc w ->
+            match Hashtbl.find_opt nd.got (w, r - 1) with
+            | Some payloads -> List.fold_left (fun acc m -> (w, m) :: acc) acc payloads
+            | None -> acc)
+          []
+    in
+    if r > 1 then Graph.iter_neighbors g v (fun w -> Hashtbl.remove nd.got (w, r - 1));
+    (* deliver in sender order, exactly like the raw engine *)
+    let inbox = List.sort compare inbox in
+    let state, outcome = step ~round:r v nd.ustate inbox in
+    nd.ustate <- state;
+    let outgoing, halting =
+      match outcome with Sync.Continue m -> (m, false) | Sync.Halt m -> (m, true)
+    in
+    List.iter
+      (fun (dest, _) ->
+        if not (Graph.mem_edge g v dest) then
+          invalid_arg
+            (Printf.sprintf "Reliable.run_sync: node %d sent to non-neighbor %d" v dest))
+      outgoing;
+    if halting then nd.ulive <- false;
+    nd.lround <- r + 1;
+    (* one frame per neighbor that will still consume round-r input
+       (messages to halted or non-participating peers go into the void,
+       as in the raw engine) *)
+    Graph.iter_neighbors g v (fun w ->
+        let peer_consumes =
+          nodes.(w).participates
+          && match Hashtbl.find_opt nd.peer_halt w with Some h -> h > r | None -> true
+        in
+        if peer_consumes then begin
+          let payloads =
+            List.filter_map (fun (d, m) -> if d = w then Some m else None) outgoing
+          in
+          Hashtbl.replace nd.pending (w, r)
+            {
+              payloads;
+              halting;
+              next_tx = !p + int_of_float (ceil config.timeout);
+              interval = config.timeout;
+              tries = 0;
+            };
+          xmit v w (Data { lround = r; payloads; halting })
+        end)
+  in
+  let process v =
+    let nd = nodes.(v) in
+    let frames = List.rev !cur.(v) in
+    if frames <> [] then
+      if is_crashed v then List.iter (fun _ -> Fault.count_drop session) frames
+      else
+        List.iter
+          (fun (w, frame) ->
+            match frame with
+            | Ack lr -> Hashtbl.remove nd.pending (w, lr)
+            | Data { lround; payloads; halting } ->
+                xmit v w (Ack lround);
+                if halting then Hashtbl.replace nd.peer_halt w lround;
+                (* stale (< lround already consumed) or duplicate frames
+                   are re-acked but not buffered *)
+                if lround >= nd.lround - 1 && not (Hashtbl.mem nd.got (w, lround)) then
+                  Hashtbl.replace nd.got (w, lround) payloads)
+          frames
+  in
+  let retransmit v =
+    let nd = nodes.(v) in
+    if (not (is_crashed v)) && Hashtbl.length nd.pending > 0 then begin
+      let due =
+        Hashtbl.fold
+          (fun k pd acc -> if pd.next_tx <= !p then (k, pd) :: acc else acc)
+          nd.pending []
+      in
+      let due = List.sort (fun ((a : int * int), _) (b, _) -> compare a b) due in
+      List.iter
+        (fun ((w, lr), pd) ->
+          match config.max_retries with
+          | Some budget when pd.tries >= budget ->
+              Hashtbl.remove nd.pending (w, lr);
+              Fault.count_drop session
+          | _ ->
+              pd.tries <- pd.tries + 1;
+              incr retransmits;
+              pd.interval <- Float.min config.max_interval (pd.interval *. config.backoff);
+              pd.next_tx <- !p + int_of_float (ceil pd.interval);
+              xmit v w (Data { lround = lr; payloads = pd.payloads; halting = pd.halting }))
+        due
+    end
+  in
+  let finished () =
+    Array.for_all
+      (fun nd -> (not nd.participates) || not nd.ulive)
+      nodes
+    ||
+    (* everything still running is a corpse that will never recover *)
+    let t = float_of_int (!p + 1) in
+    let stuck = ref true in
+    Array.iteri
+      (fun v nd ->
+        if nd.participates && nd.ulive && not (Fault.dead_forever session v t) then
+          stuck := false)
+      nodes;
+    !stuck
+  in
+  while not (finished ()) do
+    if !p >= max_rounds then raise (Sync.Did_not_terminate max_rounds);
+    incr p;
+    for v = 0 to n - 1 do
+      process v
+    done;
+    (* a node may advance several logical rounds if frames were buffered
+       ahead while it waited on a slow neighbor *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for v = 0 to n - 1 do
+        if can_advance v && not (is_crashed v) then begin
+          advance v;
+          progress := true
+        end
+      done
+    done;
+    for v = 0 to n - 1 do
+      retransmit v
+    done;
+    let consumed = !cur in
+    cur := !nxt;
+    nxt := !late;
+    Array.fill consumed 0 n [];
+    late := consumed
+  done;
+  ( Array.map (fun nd -> nd.ustate) nodes,
+    Stats.make ~rounds:!p ~messages:!messages ~volume:!volume
+      ~dropped:(Fault.dropped session) ~duplicated:(Fault.duplicated session)
+      ~retransmits:!retransmits () )
+
+type sync_runner = {
+  run :
+    'state 'msg.
+    ?max_rounds:int ->
+    ?weight:('msg -> int) ->
+    Graph.t ->
+    init:(int -> 'state * bool) ->
+    step:('state, 'msg) Sync.step ->
+    'state array * Stats.t;
+  faulty : bool;
+}
+
+let raw_runner =
+  {
+    run =
+      (fun ?max_rounds ?weight g ~init ~step -> Sync.run ?max_rounds ?weight g ~init ~step);
+    faulty = false;
+  }
+
+let runner ?(faults = Fault.none) ?config () =
+  if Fault.is_none faults then raw_runner
+  else
+    {
+      run =
+        (fun ?max_rounds ?weight g ~init ~step ->
+          run_sync ?max_rounds ?weight ~faults ?config g ~init ~step);
+      faulty = true;
+    }

@@ -1,0 +1,84 @@
+(** Reliable delivery over faulty channels: an ack/retransmit (ARQ)
+    layer with exponential backoff that turns a lossy, duplicating,
+    reordering channel back into a reliable FIFO one, so the paper's
+    protocols run unchanged under message loss.
+
+    Two deployments share the {!config}:
+    - {!run_sync} here: a synchronizer + ARQ that emulates the exact
+      semantics of {!Sync.run} on top of the faulty physical layer.
+      Each logical round, every node sends one sequence-numbered frame
+      per live neighbor (batching that round's payloads, possibly
+      empty) and retransmits it until acknowledged; a node advances to
+      logical round [r+1] once it holds every neighbor's round-[r]
+      frame.  With [Fault.none] the user protocol sees bit-identical
+      states and round counts to the raw engine (tested).
+    - [Async.run ?reliable]: the asynchronous engine runs the same ARQ
+      per channel below its [send]/[handler] interface (sequence
+      numbers, dedup, in-order delivery, retransmission timers).
+
+    Corrupted frames are treated as checksum failures — discarded on
+    arrival and recovered by retransmission.  Crash faults are {e not}
+    masked: a permanently crashed node stalls its neighbors (the layer
+    guarantees delivery, not consensus); crash recovery is the job of
+    [Fdlsp_core.Repair] and the churn driver.
+
+    Termination of [run_sync] is detected by the simulator globally
+    (every participant halted), side-stepping the two-generals problem
+    a real deployment would face on the final acknowledgment. *)
+
+open Fdlsp_graph
+
+type config = {
+  timeout : float;
+      (** rounds (sync) / time units (async) before the first
+          retransmission; >= 1 *)
+  backoff : float;  (** retransmission-interval multiplier; >= 1 *)
+  max_interval : float;  (** cap on the backed-off interval *)
+  max_retries : int option;
+      (** per-message retransmission budget; [None] = keep trying
+          (a permanently crashed receiver then stalls the run) *)
+}
+
+val default : config
+(** [{ timeout = 4.; backoff = 2.; max_interval = 64.; max_retries = None }] *)
+
+val run_sync :
+  ?max_rounds:int ->
+  ?weight:('msg -> int) ->
+  ?faults:Fault.plan ->
+  ?config:config ->
+  Graph.t ->
+  init:(int -> 'state * bool) ->
+  step:('state, 'msg) Sync.step ->
+  'state array * Stats.t
+(** Drop-in replacement for {!Sync.run}: same protocol interface, same
+    final states, but executed over the faulty channel described by
+    [faults].  Stats count {e physical} frames: [rounds] is physical
+    rounds until the last node halts, [messages]/[volume] include
+    synchronizer frames, acks and retransmissions, and [retransmits]
+    counts retransmissions alone — compare against the raw engine's
+    stats to measure the cost of reliability.  [max_rounds] bounds
+    physical rounds (default [10_000 + 100 * n]); a protocol stalled by
+    an unrecoverable crash raises {!Sync.Did_not_terminate}. *)
+
+type sync_runner = {
+  run :
+    'state 'msg.
+    ?max_rounds:int ->
+    ?weight:('msg -> int) ->
+    Graph.t ->
+    init:(int -> 'state * bool) ->
+    step:('state, 'msg) Sync.step ->
+    'state array * Stats.t;
+  faulty : bool;  (** false iff this is the raw fault-free engine *)
+}
+(** A first-class synchronous engine, so multi-phase algorithms
+    (DistMIS and its MIS subroutines) can be parameterized over the
+    channel without touching their protocol logic. *)
+
+val raw_runner : sync_runner
+(** {!Sync.run} itself. *)
+
+val runner : ?faults:Fault.plan -> ?config:config -> unit -> sync_runner
+(** The reliable engine over [faults]; with an empty plan this is
+    {!raw_runner}. *)

@@ -1,17 +1,52 @@
-type t = { rounds : int; messages : int; volume : int }
+type t = {
+  rounds : int;
+  messages : int;
+  volume : int;
+  dropped : int;
+  duplicated : int;
+  retransmits : int;
+}
 
-let zero = { rounds = 0; messages = 0; volume = 0 }
+let zero =
+  { rounds = 0; messages = 0; volume = 0; dropped = 0; duplicated = 0; retransmits = 0 }
+
+let make ?volume ?(dropped = 0) ?(duplicated = 0) ?(retransmits = 0) ~rounds ~messages () =
+  let volume = match volume with Some v -> v | None -> messages in
+  { rounds; messages; volume; dropped; duplicated; retransmits }
 
 let add a b =
   {
     rounds = a.rounds + b.rounds;
     messages = a.messages + b.messages;
     volume = a.volume + b.volume;
+    dropped = a.dropped + b.dropped;
+    duplicated = a.duplicated + b.duplicated;
+    retransmits = a.retransmits + b.retransmits;
   }
 
 let scale_rounds k s =
-  { rounds = k * s.rounds; messages = k * s.messages; volume = k * s.volume }
+  {
+    rounds = k * s.rounds;
+    messages = k * s.messages;
+    volume = k * s.volume;
+    dropped = k * s.dropped;
+    duplicated = k * s.duplicated;
+    retransmits = k * s.retransmits;
+  }
 
 let pp ppf s =
   Format.fprintf ppf "%d rounds, %d messages, %d payload entries" s.rounds s.messages
-    s.volume
+    s.volume;
+  if s.dropped > 0 || s.duplicated > 0 || s.retransmits > 0 then
+    Format.fprintf ppf " (%d dropped, %d duplicated, %d retransmits)" s.dropped
+      s.duplicated s.retransmits
+
+let pp_kv ppf s =
+  Format.fprintf ppf
+    "rounds=%d messages=%d volume=%d dropped=%d duplicated=%d retransmits=%d" s.rounds
+    s.messages s.volume s.dropped s.duplicated s.retransmits
+
+let to_json s =
+  Printf.sprintf
+    {|{"rounds":%d,"messages":%d,"volume":%d,"dropped":%d,"duplicated":%d,"retransmits":%d}|}
+    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits

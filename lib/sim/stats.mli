@@ -2,21 +2,46 @@
     engines.  [rounds] is the paper's time-complexity unit: lock-step
     rounds for the synchronous model, elapsed unit-delay time for the
     asynchronous model.  [messages] counts every point-to-point message
-    sent. *)
+    sent (including retransmissions by the reliable layer). *)
 
 type t = {
   rounds : int;
   messages : int;
   volume : int;  (** total payload entries across all messages: a table
                      of k entries counts k (min 1 per message) *)
+  dropped : int;  (** messages lost by the faulty channel or addressed
+                      to a crashed node *)
+  duplicated : int;  (** extra copies injected by the faulty channel *)
+  retransmits : int;  (** retransmissions issued by the reliable layer *)
 }
 
 val zero : t
+
+val make :
+  ?volume:int ->
+  ?dropped:int ->
+  ?duplicated:int ->
+  ?retransmits:int ->
+  rounds:int ->
+  messages:int ->
+  unit ->
+  t
+(** Omitted fault counters are 0; omitted [volume] defaults to
+    [messages] (one payload entry per message). *)
+
 val add : t -> t -> t
 
 val scale_rounds : int -> t -> t
-(** [scale_rounds k s] multiplies both rounds and messages by [k] — used
-    when one virtual round is emulated by [k] physical rounds (e.g. the
+(** [scale_rounds k s] multiplies every field by [k] — used when one
+    virtual round is emulated by [k] physical rounds (e.g. the
     distance-3 competition of DistMIS). *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable one-liner; fault counters appear only when nonzero. *)
+
+val pp_kv : Format.formatter -> t -> unit
+(** Stable [key=value] pairs, one line — the uniform format used by the
+    CLI and the bench harness. *)
+
+val to_json : t -> string
+(** A flat JSON object with every field. *)

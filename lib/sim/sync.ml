@@ -7,45 +7,92 @@ type ('state, 'msg) step =
 
 exception Did_not_terminate of int
 
-let run ?max_rounds ?(weight = fun _ -> 1) g ~init ~step =
+let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt g ~init ~step =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
+  let session =
+    match faults with
+    | Some p when not (Fault.is_none p) -> Some (Fault.start p)
+    | _ -> None
+  in
   let states = Array.init n (fun v -> fst (init v)) in
   let live = Array.init n (fun v -> snd (init v)) in
-  let inboxes : (int * 'msg) list array = Array.make n [] in
-  let next_inboxes : (int * 'msg) list array = Array.make n [] in
+  let inboxes : (int * 'msg) list array ref = ref (Array.make n []) in
+  let next_inboxes : (int * 'msg) list array ref = ref (Array.make n []) in
+  (* reordered copies skip one round of the FIFO discipline *)
+  let late_inboxes : (int * 'msg) list array ref = ref (Array.make n []) in
   let messages = ref 0 in
   let volume = ref 0 in
   let rounds = ref 0 in
-  let any_live () = Array.exists Fun.id live in
+  let any_live () =
+    match session with
+    | None -> Array.exists Fun.id live
+    | Some s ->
+        (* a node that is crashed with no recovery ahead can never halt;
+           don't wait for it *)
+        let t = float_of_int (!rounds + 1) in
+        let pending = ref false in
+        Array.iteri
+          (fun v alive -> if alive && not (Fault.dead_forever s v t) then pending := true)
+          live;
+        !pending
+  in
+  let corrupt_payload payload =
+    match corrupt with Some f -> f payload | None -> payload
+  in
+  let deliver v payload (dest : int) =
+    match session with
+    | None -> !next_inboxes.(dest) <- (v, payload) :: !next_inboxes.(dest)
+    | Some s ->
+        let verdict = Fault.transmit s ~src:v ~dst:dest in
+        for _ = 1 to verdict.Fault.copies do
+          let payload = if verdict.Fault.corrupted then corrupt_payload payload else payload in
+          let buffer = if verdict.Fault.reordered then late_inboxes else next_inboxes in
+          !buffer.(dest) <- (v, payload) :: !buffer.(dest)
+        done
+  in
   while any_live () do
     if !rounds >= max_rounds then raise (Did_not_terminate max_rounds);
     incr rounds;
-    Array.fill next_inboxes 0 n [];
+    let now = float_of_int !rounds in
     for v = 0 to n - 1 do
       if live.(v) then begin
-        (* deliver in sender order for determinism *)
-        let inbox = List.sort compare (inboxes.(v)) in
-        let state, outcome = step ~round:!rounds v states.(v) inbox in
-        states.(v) <- state;
-        let outgoing =
-          match outcome with
-          | Continue msgs -> msgs
-          | Halt msgs ->
-              live.(v) <- false;
-              msgs
-        in
-        List.iter
-          (fun (dest, payload) ->
-            if not (Graph.mem_edge g v dest) then
-              invalid_arg
-                (Printf.sprintf "Sync.run: node %d sent to non-neighbor %d" v dest);
-            incr messages;
-            volume := !volume + max 1 (weight payload);
-            next_inboxes.(dest) <- (v, payload) :: next_inboxes.(dest))
-          outgoing
+        match session with
+        | Some s when Fault.crashed s v now ->
+            (* crashed: messages addressed to it are lost, it does not step *)
+            List.iter (fun _ -> Fault.count_drop s) !inboxes.(v)
+        | _ ->
+            (* deliver in sender order for determinism *)
+            let inbox = List.sort compare !inboxes.(v) in
+            let state, outcome = step ~round:!rounds v states.(v) inbox in
+            states.(v) <- state;
+            let outgoing =
+              match outcome with
+              | Continue msgs -> msgs
+              | Halt msgs ->
+                  live.(v) <- false;
+                  msgs
+            in
+            List.iter
+              (fun (dest, payload) ->
+                if not (Graph.mem_edge g v dest) then
+                  invalid_arg
+                    (Printf.sprintf "Sync.run: node %d sent to non-neighbor %d" v dest);
+                incr messages;
+                volume := !volume + max 1 (weight payload);
+                deliver v payload dest)
+              outgoing
       end
     done;
-    Array.blit next_inboxes 0 inboxes 0 n
+    (* rotate: next -> current, late -> next *)
+    let consumed = !inboxes in
+    inboxes := !next_inboxes;
+    next_inboxes := !late_inboxes;
+    Array.fill consumed 0 n [];
+    late_inboxes := consumed
   done;
-  (states, { Stats.rounds = !rounds; messages = !messages; volume = !volume })
+  let dropped, duplicated =
+    match session with None -> (0, 0) | Some s -> (Fault.dropped s, Fault.duplicated s)
+  in
+  ( states,
+    Stats.make ~rounds:!rounds ~messages:!messages ~volume:!volume ~dropped ~duplicated () )

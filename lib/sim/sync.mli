@@ -23,6 +23,8 @@ exception Did_not_terminate of int
 val run :
   ?max_rounds:int ->
   ?weight:('msg -> int) ->
+  ?faults:Fault.plan ->
+  ?corrupt:('msg -> 'msg) ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) step ->
@@ -34,4 +36,14 @@ val run :
     to [10_000 + 100 * n].  [weight] gives a message's payload size for
     the [volume] statistic (default 1; clamped to at least 1).  Returns
     final states and stats; the round count is the number of rounds
-    until the last node halts. *)
+    until the last node halts.
+
+    [faults] injects channel and node faults (see {!Fault}): dropped
+    messages vanish, duplicated ones are delivered twice, reordered
+    copies arrive one round late (escaping the engine's FIFO
+    discipline), and a node inside a crash window neither steps nor
+    receives — messages addressed to it are counted as dropped; on
+    recovery it resumes with its pre-crash state.  [corrupt] transforms
+    payloads the fault plan marks as corrupted (identity when omitted).
+    Protocols are {e not} expected to survive this raw engine — wrap
+    them with {!Reliable.run_sync} for exactly-once FIFO delivery. *)

@@ -121,6 +121,31 @@ let test_async_locality () =
     (Invalid_argument "Async.send: node 0 sent to non-neighbor 2") (fun () ->
       ignore (Async.run g ~init:(fun _ -> ()) ~starts ~handler))
 
+let test_async_bad_uniform_delay () =
+  (* invalid bounds must be rejected when run starts, not mid-execution *)
+  let g = Gen.path 2 in
+  let handler _ s ~sender:_ () = s in
+  let starts = [ (0, fun ctx s -> Async.send ctx 1 (); s) ] in
+  let expect_invalid lo hi =
+    let rng = Random.State.make [| 7 |] in
+    Alcotest.check_raises
+      (Printf.sprintf "lo=%g hi=%g" lo hi)
+      (Invalid_argument "Async: Uniform delay requires 0 < lo <= hi")
+      (fun () ->
+        ignore
+          (Async.run ~delay:(Async.Uniform (rng, lo, hi)) g ~init:(fun _ -> ()) ~starts
+             ~handler))
+  in
+  expect_invalid 0. 1.;
+  expect_invalid (-0.5) 1.;
+  expect_invalid 2. 1.;
+  (* degenerate-but-legal bounds still run *)
+  let rng = Random.State.make [| 7 |] in
+  let _, st =
+    Async.run ~delay:(Async.Uniform (rng, 0.5, 0.5)) g ~init:(fun _ -> ()) ~starts ~handler
+  in
+  Alcotest.(check int) "delivered" 1 st.Stats.messages
+
 let test_async_event_cap () =
   let g = Gen.path 2 in
   (* infinite ping-pong *)
@@ -175,16 +200,42 @@ let test_async_concurrent_chains () =
 (* ------------------------------------------------------------------ *)
 
 let test_stats () =
-  let a = { Stats.rounds = 3; messages = 10; volume = 25 } in
-  let b = { Stats.rounds = 4; messages = 1; volume = 2 } in
+  let a = Stats.make ~rounds:3 ~messages:10 ~volume:25 ~dropped:2 () in
+  let b = Stats.make ~rounds:4 ~messages:1 ~volume:2 ~retransmits:5 () in
   Alcotest.(check int) "add rounds" 7 (Stats.add a b).Stats.rounds;
   Alcotest.(check int) "add msgs" 11 (Stats.add a b).Stats.messages;
   Alcotest.(check int) "add volume" 27 (Stats.add a b).Stats.volume;
+  Alcotest.(check int) "add dropped" 2 (Stats.add a b).Stats.dropped;
+  Alcotest.(check int) "add retransmits" 5 (Stats.add a b).Stats.retransmits;
   let s = Stats.scale_rounds 3 a in
   Alcotest.(check int) "scale rounds" 9 s.Stats.rounds;
   Alcotest.(check int) "scale msgs" 30 s.Stats.messages;
   Alcotest.(check int) "scale volume" 75 s.Stats.volume;
-  Alcotest.(check int) "zero" 0 Stats.zero.Stats.volume
+  Alcotest.(check int) "scale dropped" 6 s.Stats.dropped;
+  Alcotest.(check int) "zero" 0 Stats.zero.Stats.volume;
+  Alcotest.(check int) "make defaults volume to messages" 10
+    (Stats.make ~rounds:1 ~messages:10 ()).Stats.volume
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  k = 0 || go 0
+
+let test_stats_printers () =
+  let s = Stats.make ~rounds:2 ~messages:7 ~volume:9 ~dropped:1 ~retransmits:4 () in
+  Alcotest.(check string)
+    "pp_kv is stable"
+    "rounds=2 messages=7 volume=9 dropped=1 duplicated=0 retransmits=4"
+    (Format.asprintf "%a" Stats.pp_kv s);
+  Alcotest.(check string)
+    "to_json is flat"
+    "{\"rounds\":2,\"messages\":7,\"volume\":9,\"dropped\":1,\"duplicated\":0,\
+     \"retransmits\":4}"
+    (Stats.to_json s);
+  (* the human printer shows fault counters only when nonzero *)
+  let clean = Stats.make ~rounds:2 ~messages:7 () in
+  let pp = Format.asprintf "%a" Stats.pp clean in
+  Alcotest.(check bool) "no fault noise" false (contains pp "dropped")
 
 let test_volume_weights () =
   (* sync: a two-round exchange with table payloads *)
@@ -223,6 +274,8 @@ let () =
           Alcotest.test_case "token relay" `Quick test_async_relay;
           Alcotest.test_case "fifo under random delays" `Quick test_async_fifo_random_delays;
           Alcotest.test_case "locality enforced" `Quick test_async_locality;
+          Alcotest.test_case "uniform delay bounds rejected" `Quick
+            test_async_bad_uniform_delay;
           Alcotest.test_case "event cap" `Quick test_async_event_cap;
           Alcotest.test_case "echo broadcast" `Quick test_async_echo_broadcast;
           Alcotest.test_case "concurrent chains" `Quick test_async_concurrent_chains;
@@ -230,6 +283,7 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "algebra" `Quick test_stats;
+          Alcotest.test_case "printers" `Quick test_stats_printers;
           Alcotest.test_case "volume weights" `Quick test_volume_weights;
         ] );
     ]
