@@ -343,6 +343,124 @@ let faults cfg =
     (Buffer.contents json_points)
 
 (* ------------------------------------------------------------------ *)
+(* Per-phase breakdowns from event traces                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Where do DistMIS's rounds and messages actually go?  Each run records
+   into an in-memory trace sink; Trace.Summary splits the stream at the
+   phase markers (mis / secondary-mis / color for DistMIS, dfs for the
+   token algorithm).  Per-phase columns are raw segment counts; the
+   totals row is scale-weighted (secondary-MIS runs once per virtual
+   color graph) and reconciles with the run's aggregate Stats. *)
+let phases cfg =
+  Report.section
+    (Printf.sprintf
+       "Phase breakdown from traces: rounds/messages per algorithm phase (%d seeds)"
+       cfg.seeds);
+  let families =
+    [
+      ("udg", fun rng -> fst (Gen.udg rng ~n:40 ~side:6. ~radius:1.));
+      ("gnp", fun rng -> Gen.gnp rng ~n:40 ~p:0.08);
+    ]
+  in
+  let settings = [ ("lossless", 0.0); ("loss=0.10", 0.1) ] in
+  let run_traced algo loss rng k g =
+    let trace = Fdlsp_sim.Trace.memory ~capacity:2_000_000 () in
+    let faults =
+      if loss = 0. then None
+      else
+        Some
+          (Fdlsp_sim.Fault.uniform
+             ~seed:(cfg.base_seed + (977 * k) + int_of_float (loss *. 1000.))
+             loss)
+    in
+    (match algo with
+    | `Distmis ->
+        ignore (Dist_mis.run ?faults ~trace ~mis:(Mis.Luby rng) ~variant:Dist_mis.Gbg g)
+    | `Dfs -> ignore (Dfs_sched.run ?faults ~trace g));
+    Fdlsp_sim.Trace.Summary.of_events (Fdlsp_sim.Trace.events trace)
+  in
+  let json_points = Buffer.create 1024 in
+  List.iter
+    (fun (fam, make_graph) ->
+      List.iter
+        (fun (algo_name, algo) ->
+          List.iter
+            (fun (setting, loss) ->
+              (* aggregate segments by label, in order of first appearance *)
+              let order = ref [] in
+              let acc : (string, float ref array * int ref) Hashtbl.t =
+                Hashtbl.create 8
+              in
+              let record (p : Fdlsp_sim.Trace.Summary.phase) =
+                let cells, seen =
+                  match Hashtbl.find_opt acc p.label with
+                  | Some c -> c
+                  | None ->
+                      let c = (Array.init 7 (fun _ -> ref 0.), ref 0) in
+                      Hashtbl.add acc p.label c;
+                      order := p.label :: !order;
+                      c
+                in
+                incr seen;
+                List.iteri
+                  (fun i v -> cells.(i) := !(cells.(i)) +. float_of_int v)
+                  [
+                    p.scale; p.rounds; p.sends; p.recvs; p.drops; p.duplicates;
+                    p.retransmits;
+                  ]
+              in
+              for k = 0 to cfg.seeds - 1 do
+                let rng = rng_for cfg k in
+                let g = make_graph rng in
+                let summary = run_traced algo loss rng k g in
+                List.iter record summary.Fdlsp_sim.Trace.Summary.phases;
+                record (Fdlsp_sim.Trace.Summary.totals summary)
+              done;
+              let rows =
+                List.map
+                  (fun label ->
+                    let cells, seen = Hashtbl.find acc label in
+                    let mean i = !(cells.(i)) /. float_of_int !seen in
+                    if Buffer.length json_points > 0 then
+                      Buffer.add_char json_points ',';
+                    Buffer.add_string json_points
+                      (Printf.sprintf
+                         "{\"family\":%S,\"algo\":%S,\"loss\":%g,\"phase\":%S,\
+                          \"scale\":%.1f,\"rounds\":%.1f,\"sends\":%.1f,\
+                          \"recvs\":%.1f,\"drops\":%.1f,\"retransmits\":%.1f}"
+                         fam algo_name loss label (mean 0) (mean 1) (mean 2)
+                         (mean 3) (mean 4) (mean 6));
+                    [
+                      label;
+                      Report.f1 (mean 0);
+                      Report.f1 (mean 1);
+                      Report.f1 (mean 2);
+                      Report.f1 (mean 3);
+                      Report.f1 (mean 4);
+                      Report.f1 (mean 5);
+                      Report.f1 (mean 6);
+                    ])
+                  (List.rev !order)
+              in
+              Printf.printf "%s / %s / %s:\n" fam algo_name setting;
+              print_string
+                (Report.table
+                   ~header:
+                     [
+                       "phase"; "scale"; "rounds"; "sends"; "recvs"; "drops";
+                       "dups"; "retransmits";
+                     ]
+                   rows);
+              print_newline ())
+            settings)
+        [ ("distmis", `Distmis); ("dfs", `Dfs) ])
+    families;
+  Printf.printf "JSON: {\"experiment\":\"phases\",\"seeds\":%d,\"points\":[%s]}\n"
+    cfg.seeds
+    (Buffer.contents json_points)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (beyond the paper's figures)                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -20,6 +20,7 @@ let experiments =
     ("fig14", Experiments.fig14);
     ("fig15", Experiments.fig15);
     ("faults", Experiments.faults);
+    ("phases", Experiments.phases);
     ("ablation", Experiments.ablation);
     ("timing", fun (_ : Experiments.config) -> Timing.run ());
   ]

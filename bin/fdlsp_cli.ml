@@ -365,6 +365,193 @@ let faults_cmd =
       const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
       $ crashes $ timeout $ json $ out_arg $ verbose_arg)
 
+(* --- trace ------------------------------------------------------------ *)
+
+type trace_algo = T_dfs | T_distmis | T_distmis_general | T_dmgc
+
+let trace_cmd =
+  let algo =
+    let doc = "Algorithm to trace: distmis | distmis-general | dfs | dmgc." in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("distmis", T_distmis);
+               ("distmis-general", T_distmis_general);
+               ("dfs", T_dfs);
+               ("dmgc", T_dmgc);
+             ])
+          T_distmis
+      & info [ "a"; "algo" ] ~doc)
+  in
+  let rate name default doc =
+    Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
+  in
+  let drop = rate "drop" 0.1 "Per-transmission drop probability." in
+  let duplicate = rate "duplicate" 0. "Per-transmission duplication probability." in
+  let reorder = rate "reorder" 0. "Probability a copy escapes FIFO ordering." in
+  let corrupt = rate "corrupt" 0. "Per-transmission corruption probability." in
+  let replay =
+    let doc =
+      "Re-validate the recorded trace in $(docv) instead of recording: decisions must \
+       be conflict-free, accounting must reconcile with the recorded stats, crash \
+       windows must match the fault plan.  Requires the same graph arguments the \
+       trace was recorded with."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let summary =
+    let doc = "Print per-phase breakdowns of the recorded trace in $(docv)." in
+    Arg.(value & opt (some string) None & info [ "summary" ] ~docv:"FILE" ~doc)
+  in
+  let json =
+    let doc = "Emit the summary as JSON instead of key=value lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let meta_float meta key =
+    match List.assoc_opt key meta with
+    | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 0.)
+    | None -> 0.
+  in
+  let meta_int meta key =
+    match List.assoc_opt key meta with Some s -> int_of_string_opt s | None -> None
+  in
+  let run graph algo seed drop duplicate reorder corrupt replay summary json out verbose =
+    setup_logs verbose;
+    let open Fdlsp_sim in
+    match (replay, summary) with
+    | Some _, Some _ -> or_die (Error "--replay and --summary are mutually exclusive")
+    | None, Some path ->
+        let file = try Trace.load path with Failure m -> or_die (Error m) in
+        let s = Trace.Summary.of_events file.Trace.events in
+        if json then emit out (Trace.Summary.to_json s ^ "\n")
+        else emit out (Format.asprintf "%a" Trace.Summary.pp s)
+    | Some path, None -> (
+        let g = or_die graph in
+        let file = try Trace.load path with Failure m -> or_die (Error m) in
+        let meta = file.Trace.meta in
+        (match (meta_int meta "n", meta_int meta "m") with
+        | Some n, _ when n <> Graph.n g ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "trace was recorded on a %d-node graph, but the given graph has %d \
+                     nodes (same --generate/--input and --seed required)"
+                    n (Graph.n g)))
+        | _, Some m when m <> Graph.m g ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "trace was recorded on a %d-edge graph, but the given graph has %d \
+                     edges (same --generate/--input and --seed required)"
+                    m (Graph.m g)))
+        | _ -> ());
+        let plan =
+          match meta_int meta "fault_seed" with
+          | Some fseed ->
+              Some
+                (Fault.uniform ~seed:fseed
+                   ~duplicate:(meta_float meta "duplicate")
+                   ~reorder:(meta_float meta "reorder")
+                   ~corrupt:(meta_float meta "corrupt")
+                   (meta_float meta "drop"))
+          | None -> None
+        in
+        match
+          Trace.Replay.check ?plan ?stats:file.Trace.stats ~require_complete:true g
+            file.Trace.events
+        with
+        | Ok r ->
+            emit out
+              (Printf.sprintf
+                 "replay=ok events=%d colors=%d mis_joins=%d retransmit_events=%d \
+                  crash_events=%d slots=%d\n"
+                 r.Trace.Replay.events r.Trace.Replay.colors r.Trace.Replay.mis_joins
+                 r.Trace.Replay.retransmit_events r.Trace.Replay.crash_events
+                 (Schedule.num_slots r.Trace.Replay.schedule))
+        | Error m ->
+            emit out (Printf.sprintf "replay=FAILED %s\n" m);
+            exit 2)
+    | None, None ->
+        (* record *)
+        let g = or_die graph in
+        let lossy = drop > 0. || duplicate > 0. || reorder > 0. || corrupt > 0. in
+        let faults =
+          if lossy then
+            Some
+              (try Fault.uniform ~seed ~duplicate ~reorder ~corrupt drop
+               with Invalid_argument m -> or_die (Error m))
+          else None
+        in
+        let algo_name =
+          match algo with
+          | T_dfs -> "dfs"
+          | T_distmis -> "distmis"
+          | T_distmis_general -> "distmis-general"
+          | T_dmgc -> "dmgc"
+        in
+        let meta =
+          [
+            ("algo", algo_name);
+            ("n", string_of_int (Graph.n g));
+            ("m", string_of_int (Graph.m g));
+          ]
+          @
+          if lossy then
+            [
+              ("fault_seed", string_of_int seed);
+              ("drop", Printf.sprintf "%g" drop);
+              ("duplicate", Printf.sprintf "%g" duplicate);
+              ("reorder", Printf.sprintf "%g" reorder);
+              ("corrupt", Printf.sprintf "%g" corrupt);
+            ]
+          else []
+        in
+        let writer =
+          match out with
+          | None -> Trace.writer_to_channel ~meta stdout
+          | Some path -> Trace.open_writer ~meta path
+        in
+        let trace = Trace.writer_sink writer in
+        let rng () = Random.State.make [| seed; 0xA5 |] in
+        let guard f = try f () with Invalid_argument m -> or_die (Error m) in
+        let stats =
+          guard (fun () ->
+              match algo with
+              | T_dfs ->
+                  let r = Dfs_sched.run ?faults ~trace g in
+                  Some r.Dfs_sched.stats
+              | T_distmis ->
+                  let r =
+                    Dist_mis.run ?faults ~trace ~mis:(Mis.Luby (rng ()))
+                      ~variant:Dist_mis.Gbg g
+                  in
+                  Some r.Dist_mis.stats
+              | T_distmis_general ->
+                  let r =
+                    Dist_mis.run ?faults ~trace ~mis:(Mis.Luby (rng ()))
+                      ~variant:Dist_mis.General g
+                  in
+                  Some r.Dist_mis.stats
+              | T_dmgc ->
+                  let _ = Dmgc.run ~trace g in
+                  (* D-MGC stats are a cost model with no engine events
+                     behind them; omit the trailer so replay skips the
+                     accounting check *)
+                  None)
+        in
+        Trace.close_writer ?stats writer
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a JSONL event trace of a scheduling run, or re-validate / summarize a \
+          recorded one")
+    Term.(
+      const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
+      $ replay $ summary $ json $ out_arg $ verbose_arg)
+
 (* --- bounds ----------------------------------------------------------- *)
 
 let bounds_cmd =
@@ -434,4 +621,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; schedule_cmd; validate_cmd; bounds_cmd; dot_cmd; faults_cmd ]))
+          [ gen_cmd; schedule_cmd; validate_cmd; bounds_cmd; dot_cmd; faults_cmd; trace_cmd ]))

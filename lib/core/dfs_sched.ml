@@ -50,7 +50,7 @@ let mark_visited st w = if not (List.mem w st.visited_nbrs) then st.visited_nbrs
 
 (* Greedy first-fit for the token holder's uncolored incident arcs,
    using only the gathered distance-2 knowledge. *)
-let color_own g st v =
+let color_own trace ~t g st v =
   let fresh = ref [] in
   Arc.iter_incident g v (fun a ->
       if not (Hashtbl.mem st.gather a) then begin
@@ -63,6 +63,7 @@ let color_own g st v =
         let c = first 0 in
         Hashtbl.replace st.gather a c;
         Hashtbl.replace st.known a c;
+        Trace.emit trace ~t (Trace.Color { node = v; arc = a; slot = c });
         fresh := (a, c) :: !fresh
       end);
   st.assigned <- !fresh @ st.assigned;
@@ -103,9 +104,9 @@ let start_visit ctx st parent =
   if st.pending_replies = 0 then ()
   else Array.iter (fun w -> Async.send ctx w Query) nbrs
 
-let finish_coloring g policy ctx st =
+let finish_coloring trace g policy ctx st =
   let v = Async.self ctx in
-  let fresh = color_own g st v in
+  let fresh = color_own trace ~t:(Async.now ctx) g st v in
   let nbrs = Async.neighbors ctx in
   if Array.length nbrs = 0 then ()
   else begin
@@ -115,7 +116,7 @@ let finish_coloring g policy ctx st =
   end;
   if st.pending_acks = 0 then pass_token g policy ctx st
 
-let handler g policy ctx st ~sender msg =
+let handler trace g policy ctx st ~sender msg =
   (match msg with
   | Token ->
       if st.parent >= 0 then
@@ -134,7 +135,7 @@ let handler g policy ctx st ~sender msg =
       merge st.gather table;
       merge_relevant g (Async.self ctx) st.known table;
       st.pending_replies <- st.pending_replies - 1;
-      if st.pending_replies = 0 then finish_coloring g policy ctx st
+      if st.pending_replies = 0 then finish_coloring trace g policy ctx st
   | Announce table ->
       mark_visited st sender;
       merge_relevant g (Async.self ctx) st.known table;
@@ -157,8 +158,11 @@ let default_roots g =
   done;
   Array.to_list roots
 
-let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots g =
+let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
+    ?(trace = Trace.null) g =
   let roots = match roots with Some r -> r | None -> default_roots g in
+  if Trace.enabled trace then
+    Trace.emit trace ~t:0. (Trace.Phase { label = "dfs"; scale = 1 });
   let init _ =
     {
       parent = -1;
@@ -196,8 +200,8 @@ let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots g 
     | None, _ -> None
   in
   let states, stats =
-    Async.run ~delay ?faults ?reliable ~weight g ~init ~starts
-      ~handler:(handler g policy)
+    Async.run ~delay ?faults ?reliable ~weight ~trace g ~init ~starts
+      ~handler:(handler trace g policy)
   in
   let sched = Schedule.make g in
   Array.iter

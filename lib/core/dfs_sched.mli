@@ -34,6 +34,7 @@ val run :
   ?faults:Fault.plan ->
   ?reliable:Reliable.config ->
   ?roots:int list ->
+  ?trace:Trace.sink ->
   Graph.t ->
   result
 (** [roots] designates one initiator per connected component (defaults
@@ -44,4 +45,10 @@ val run :
     protocol assumes exactly-once FIFO delivery, so a non-trivial fault
     plan automatically enables the ack/retransmit layer of
     {!Fdlsp_sim.Async} with {!Fdlsp_sim.Reliable.default} unless
-    [reliable] overrides the tuning. *)
+    [reliable] overrides the tuning.
+
+    [trace] records one ["dfs"] phase marker, the asynchronous engine's
+    channel events, and a [Color] decision (stamped with the token
+    holder's local clock) for every arc the holder colors — enough for
+    {!Fdlsp_sim.Trace.Replay} to re-validate the schedule and reconcile
+    the stats counters. *)

@@ -93,7 +93,7 @@ let halo g chosen =
   done;
   dist
 
-let color_phase ~engine g sched ~chosen ~outgoing_only =
+let color_phase ~engine ?(trace = Trace.null) g sched ~chosen ~outgoing_only =
   let dist = halo g chosen in
   let own_table v =
     let out = ref [] in
@@ -139,25 +139,29 @@ let color_phase ~engine g sched ~chosen ~outgoing_only =
         else (state, Sync.Halt [])
   in
   let states, stats = engine.Reliable.run ~weight:Array.length g ~init ~step in
-  Array.iter
-    (fun s ->
+  let t_done = float_of_int stats.Stats.rounds in
+  Array.iteri
+    (fun v s ->
       List.iter
         (fun (a, c) ->
           if Schedule.is_colored sched a then
             invalid_arg "Dist_mis: simultaneous recoloring detected";
-          Schedule.set sched a c)
+          Schedule.set sched a c;
+          Trace.emit trace ~t:t_done (Trace.Color { node = v; arc = a; slot = c }))
         s.assigned)
     states;
   stats
 
 (* --- the full algorithm ------------------------------------------- *)
 
-let run ?faults ?reliable ~mis ~variant g =
+let run ?faults ?reliable ?engine ?(trace = Trace.null) ~mis ~variant g =
   let engine =
-    match faults with
-    | None -> Reliable.raw_runner
-    | Some plan -> Reliable.runner ~faults:plan ?config:reliable ()
+    match engine with
+    | Some e -> e
+    | None -> Reliable.runner ?faults ?config:reliable ~trace ()
   in
+  let traced = Trace.enabled trace in
+  let phase label scale = if traced then Trace.emit trace ~t:0. (Trace.Phase { label; scale }) in
   let n = Graph.n g in
   let dist = hop_distance variant in
   let outgoing_only = variant = General in
@@ -168,22 +172,31 @@ let run ?faults ?reliable ~mis ~variant g =
   let any arr = Array.exists Fun.id arr in
   while any active do
     incr outer;
+    phase "mis" 1;
     let s, mis_stats = Mis.compute ~engine ~algo:mis g ~active in
     Log.debug (fun m ->
         m "outer %d: |S| = %d (%d rounds)" !outer
           (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s)
           mis_stats.Stats.rounds);
+    if traced then
+      Array.iteri
+        (fun v m ->
+          if m then
+            Trace.emit trace ~t:(float_of_int mis_stats.Stats.rounds) (Trace.Mis_join v))
+        s;
     stats := Stats.add !stats mis_stats;
     let remaining = Array.copy s in
     while any remaining do
       incr inner;
       let vg, back = virtual_graph g remaining ~dist in
       let vactive = Array.make (Graph.n vg) true in
+      phase "secondary-mis" dist;
       let s_virtual, sec_stats = Mis.compute ~engine ~algo:mis vg ~active:vactive in
       stats := Stats.add !stats (Stats.scale_rounds dist sec_stats);
       let chosen = Array.make n false in
       Array.iteri (fun i v -> if s_virtual.(i) then chosen.(v) <- true) back;
-      let phase_stats = color_phase ~engine g sched ~chosen ~outgoing_only in
+      phase "color" 1;
+      let phase_stats = color_phase ~engine ~trace g sched ~chosen ~outgoing_only in
       Log.debug (fun m ->
           m "inner %d: %d winners colored" !inner
             (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 chosen));

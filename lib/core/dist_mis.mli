@@ -42,6 +42,8 @@ type result = {
 val run :
   ?faults:Fault.plan ->
   ?reliable:Reliable.config ->
+  ?engine:Reliable.sync_runner ->
+  ?trace:Trace.sink ->
   mis:Mis.algo ->
   variant:variant ->
   Graph.t ->
@@ -55,4 +57,20 @@ val run :
     {!Fdlsp_sim.Reliable} (tuned by [reliable], default
     {!Fdlsp_sim.Reliable.default}), so the schedule stays correct under
     message loss at the cost of retransmissions.  The GPS MIS pipeline
-    does not support fault injection (see {!Mis.compute}). *)
+    does not support fault injection (see {!Mis.compute}).
+
+    [engine] overrides the synchronous channel for every phase (e.g.
+    {!Fdlsp_sim.Lockstep.runner} to carry the whole algorithm over the
+    asynchronous engine); when given, [faults]/[reliable] are ignored.
+
+    [trace] records the run: a [Phase] marker per engine use (["mis"]
+    at scale 1, ["secondary-mis"] at the variant's relay scale,
+    ["color"] at 1 — so scale-weighted per-segment sums reconcile with
+    [stats]), [Mis_join] per primary-MIS member, and [Color] per arc
+    decision, on top of the engine-level channel events.
+    Secondary-MIS segments run on the virtual competition graph, so
+    their [Send]/[Recv] endpoints are virtual node ids (the member
+    array order), while decisions always name real nodes and arcs.
+    With an engine-backed [mis] (Luby or Local_min) the trace's
+    accounting reconciles exactly with [stats]; GPS produces rounds the
+    engine never executes, so its traces carry decisions only. *)

@@ -165,7 +165,7 @@ let two_hop_waves g =
     !waves
   end
 
-let run g =
+let run ?(trace = Trace.null) g =
   let m = Graph.m g in
   let sched = Schedule.make g in
   if m = 0 then
@@ -214,6 +214,16 @@ let run g =
     let waves = two_hop_waves g in
     let rounds = (2 * waves) + (2 * vstats.Vizing.total_path_length) + !orientation_rounds in
     let messages = (2 * m * waves) + (2 * vstats.Vizing.total_path_length) + (2 * m * base_colors) in
+    if Trace.enabled trace then begin
+      (* decision-only trace: the stats above are a cost model, not
+         engine counters, so there are no channel events to record *)
+      Trace.emit trace ~t:0. (Trace.Phase { label = "dmgc"; scale = 1 });
+      Arc.iter g (fun a ->
+          let c = Schedule.get sched a in
+          if c >= 0 then
+            Trace.emit trace ~t:0.
+              (Trace.Color { node = Arc.tail g a; arc = a; slot = c }))
+    end;
     ( { schedule = sched;
         stats = Stats.make ~rounds ~messages ();
         base_colors;

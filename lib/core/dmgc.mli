@@ -31,7 +31,12 @@ type result = {
   injected_edges : int;  (** edges deferred to injected colors *)
 }
 
-val run : Graph.t -> result
+val run : ?trace:Fdlsp_sim.Trace.sink -> Graph.t -> result
+(** [trace] records a decision-only trace: one ["dmgc"] phase marker and
+    one [Color] event per arc of the finished schedule (attributed to
+    the arc's tail), in arc-id order.  D-MGC's stats are a cost model
+    rather than engine counters, so its traces carry no channel events
+    and do not reconcile against [stats]. *)
 
 val orient_class :
   Graph.t -> int list -> (int * int) list * int list

@@ -67,6 +67,11 @@ type 'msg engine = {
   session : Fault.session option;
   corrupt : ('msg -> 'msg) option;
   rel : Reliable.config option;
+  trace : Trace.sink;
+  traced : bool;
+  (* plan crash/recovery boundaries not yet emitted, ascending; flushed
+     lazily as the clock passes them so the heap is never perturbed *)
+  mutable boundaries : (float * Trace.event) list;
   mutable seq : int;
   mutable clock : float;
   mutable sent : int;
@@ -101,6 +106,38 @@ let schedule e time ev =
   Heap.push e.heap time e.seq ev;
   e.seq <- e.seq + 1
 
+let temit e ev = if e.traced then Trace.emit e.trace ~t:e.clock ev
+
+(* emit plan boundaries the clock has passed, in time order *)
+let flush_boundaries e upto =
+  if e.traced then begin
+    let rec loop () =
+      match e.boundaries with
+      | (t, ev) :: rest when t <= upto ->
+          Trace.emit e.trace ~t ev;
+          e.boundaries <- rest;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  end
+
+(* trace the channel verdict for one transmission; [delivered_corrupt]
+   says whether a corrupted copy still reaches the handler (plain sends)
+   or fails its checksum and is counted dropped (ARQ frames) *)
+let temit_verdict e ~src ~dst ~delivered_corrupt (v : Fault.verdict) =
+  if e.traced then begin
+    if v.Fault.copies = 0 then Trace.emit e.trace ~t:e.clock (Trace.Drop { src; dst })
+    else begin
+      if v.Fault.copies > 1 then
+        Trace.emit e.trace ~t:e.clock (Trace.Duplicate { src; dst });
+      if v.Fault.corrupted && not delivered_corrupt then
+        for _ = 1 to v.Fault.copies do
+          Trace.emit e.trace ~t:e.clock (Trace.Drop { src; dst })
+        done
+    end
+  end
+
 let crashed_now e v = match e.session with
   | None -> false
   | Some s -> Fault.crashed s v e.clock
@@ -122,6 +159,7 @@ let send_plain e src dst payload =
   | None -> schedule e (fifo_arrival e src dst) (Deliver { src; dst; payload })
   | Some s ->
       let v = Fault.transmit s ~src ~dst in
+      temit_verdict e ~src ~dst ~delivered_corrupt:true v;
       for _ = 1 to v.Fault.copies do
         let payload =
           if v.Fault.corrupted then
@@ -142,6 +180,7 @@ let transmit_rdata e src dst sq payload =
   | None -> schedule e (e.clock +. draw_delay e) (RData { src; dst; seq = sq; payload })
   | Some s ->
       let v = Fault.transmit s ~src ~dst in
+      temit_verdict e ~src ~dst ~delivered_corrupt:false v;
       for _ = 1 to v.Fault.copies do
         if v.Fault.corrupted then Fault.count_drop s
         else schedule e (e.clock +. draw_delay e) (RData { src; dst; seq = sq; payload })
@@ -150,10 +189,12 @@ let transmit_rdata e src dst sq payload =
 let transmit_rack e src dst sq =
   e.sent <- e.sent + 1;
   e.volume <- e.volume + 1;
+  temit e (Trace.Send { src; dst });
   match e.session with
   | None -> schedule e (e.clock +. draw_delay e) (RAck { src; dst; seq = sq })
   | Some s ->
       let v = Fault.transmit s ~src ~dst in
+      temit_verdict e ~src ~dst ~delivered_corrupt:false v;
       for _ = 1 to v.Fault.copies do
         if v.Fault.corrupted then Fault.count_drop s
         else schedule e (e.clock +. draw_delay e) (RAck { src; dst; seq = sq })
@@ -176,6 +217,7 @@ let send c dst payload =
       (Printf.sprintf "Async.send: node %d sent to non-neighbor %d" c.node dst);
   e.sent <- e.sent + 1;
   e.volume <- e.volume + max 1 (e.weight payload);
+  temit e (Trace.Send { src = c.node; dst });
   match e.rel with
   | None -> send_plain e c.node dst payload
   | Some cfg -> send_arq e cfg c.node dst payload
@@ -185,7 +227,7 @@ type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 exception Too_many_events of int
 
 let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults ?corrupt
-    ?reliable g ~init ~starts ~handler =
+    ?reliable ?(trace = Trace.null) g ~init ~starts ~handler =
   (match delay with
   | Uniform (_, lo, hi) when lo <= 0. || lo > hi -> invalid_arg bad_delay
   | _ -> ());
@@ -201,6 +243,22 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     | Some p when not (Fault.is_none p) -> Some (Fault.start p)
     | _ -> None
   in
+  let traced = Trace.enabled trace in
+  let boundaries =
+    if not traced then []
+    else
+      match faults with
+      | Some p ->
+          List.sort compare
+            (List.concat_map
+               (fun c ->
+                 let crash = (c.Fault.at, Trace.Crash c.Fault.node) in
+                 match c.Fault.until with
+                 | None -> [ crash ]
+                 | Some u -> [ crash; (u, Trace.Recover c.Fault.node) ])
+               (Fault.crashes p))
+      | None -> []
+  in
   let engine =
     {
       g;
@@ -210,6 +268,9 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
       session;
       corrupt;
       rel = reliable;
+      trace;
+      traced;
+      boundaries;
       seq = 0;
       clock = 0.;
       sent = 0;
@@ -224,14 +285,20 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     }
   in
   let states = Array.init (Graph.n g) init in
+  flush_boundaries engine 0.;
   List.iter
     (fun (v, action) ->
       if not (crashed_now engine v) then
         states.(v) <- action { engine; node = v } states.(v))
     starts;
   let deliver_user ~src ~dst payload =
+    temit engine (Trace.Recv { src; dst });
     states.(dst) <- handler { engine; node = dst } states.(dst) ~sender:src payload;
     engine.last_user <- engine.clock
+  in
+  let drop_crashed ~src ~dst =
+    Fault.count_drop (Option.get session);
+    temit engine (Trace.Drop { src; dst })
   in
   let events = ref 0 in
   while not (Heap.is_empty engine.heap) do
@@ -239,12 +306,13 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     if !events > max_events then raise (Too_many_events max_events);
     let time, _, ev = Heap.pop engine.heap in
     engine.clock <- time;
+    flush_boundaries engine time;
     match ev with
     | Deliver { src; dst; payload } ->
-        if crashed_now engine dst then Fault.count_drop (Option.get session)
+        if crashed_now engine dst then drop_crashed ~src ~dst
         else deliver_user ~src ~dst payload
     | RData { src; dst; seq; payload } ->
-        if crashed_now engine dst then Fault.count_drop (Option.get session)
+        if crashed_now engine dst then drop_crashed ~src ~dst
         else begin
           transmit_rack engine dst src seq;
           let key = (src, dst) in
@@ -266,7 +334,7 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
         end
     | RAck { src; dst; seq } ->
         (* [dst] is the original sender waiting on this ack *)
-        if crashed_now engine dst then Fault.count_drop (Option.get session)
+        if crashed_now engine dst then drop_crashed ~src ~dst
         else Hashtbl.remove engine.unacked (dst, src, seq)
     | Rto { src; dst; seq; interval } -> (
         match Hashtbl.find_opt engine.unacked (src, dst, seq) with
@@ -280,12 +348,18 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
               match cfg.Reliable.max_retries with
               | Some budget when tries >= budget ->
                   Hashtbl.remove engine.unacked (src, dst, seq);
-                  (match session with Some s -> Fault.count_drop s | None -> ())
+                  (match session with
+                  | Some s ->
+                      Fault.count_drop s;
+                      temit engine (Trace.Drop { src; dst })
+                  | None -> ())
               | _ ->
                   Hashtbl.replace engine.unacked (src, dst, seq) (payload, tries + 1);
                   engine.retransmits <- engine.retransmits + 1;
                   engine.sent <- engine.sent + 1;
                   engine.volume <- engine.volume + max 1 (engine.weight payload);
+                  temit engine (Trace.Send { src; dst });
+                  temit engine (Trace.Retransmit { src; dst });
                   transmit_rdata engine src dst seq payload;
                   let interval =
                     Float.min cfg.Reliable.max_interval (interval *. cfg.Reliable.backoff)

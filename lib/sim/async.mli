@@ -39,6 +39,7 @@ val run :
   ?faults:Fault.plan ->
   ?corrupt:('msg -> 'msg) ->
   ?reliable:Reliable.config ->
+  ?trace:Trace.sink ->
   Graph.t ->
   init:(int -> 'state) ->
   starts:(int * ('msg ctx -> 'state -> 'state)) list ->
@@ -68,4 +69,13 @@ val run :
     retransmissions (counted in [messages]/[retransmits]).  Corrupted
     frames are discarded as checksum failures and retransmitted.  A
     permanently crashed receiver makes the sender retransmit until
-    [max_retries] (if set) or {!Too_many_events}. *)
+    [max_retries] (if set) or {!Too_many_events}.
+
+    [trace] (default {!Trace.null}) records every transmission ([Send],
+    including acks and retransmissions — one per counted message),
+    user-level delivery ([Recv], so the summary's round measure matches
+    the [rounds] statistic), counted loss ([Drop]), channel duplicate,
+    ARQ retransmission ([Retransmit], reconciling with the
+    [retransmits] counter), and plan crash/recovery boundary, stamped
+    with the simulation clock.  Tracing never perturbs the event heap:
+    a traced run is event-for-event identical to an untraced one. *)

@@ -1,0 +1,32 @@
+(** Synchronous protocols executed on the asynchronous engine.
+
+    A synchronizer in the style of {!Reliable.run_sync}, but running
+    over {!Async.run}'s reliable FIFO transport instead of a faulty
+    physical layer: each node batches one frame per neighbor per logical
+    round and advances once it holds every live neighbor's previous
+    frame.  The user protocol — any [init]/[step] pair written for
+    {!Sync.run} — sees bit-identical rounds, inboxes and final states,
+    which is what the cross-engine determinism tests exercise: the same
+    algorithm must produce the same schedule no matter which engine
+    carries its messages. *)
+
+open Fdlsp_graph
+
+val run_async :
+  ?max_rounds:int ->
+  ?weight:('msg -> int) ->
+  ?delay:Async.delay ->
+  ?trace:Trace.sink ->
+  Graph.t ->
+  init:(int -> 'state * bool) ->
+  step:('state, 'msg) Sync.step ->
+  'state array * Stats.t
+(** Same protocol interface as {!Sync.run}.  Stats come from the
+    underlying asynchronous engine and count synchronizer frames, not
+    user messages; [rounds] is the ceiling of the last delivery time.
+    [max_rounds] bounds logical rounds (translated to an event budget);
+    [delay] defaults to {!Async.Unit}. *)
+
+val runner : ?delay:Async.delay -> ?trace:Trace.sink -> unit -> Reliable.sync_runner
+(** The adapter as a first-class engine, pluggable anywhere a
+    {!Reliable.sync_runner} is accepted (e.g. [Dist_mis.run ?engine]). *)

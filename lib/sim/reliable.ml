@@ -40,11 +40,36 @@ type ('state, 'msg) rnode = {
 }
 
 let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config = default)
-    g ~init ~step =
+    ?(trace = Trace.null) g ~init ~step =
   check_config config;
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
   let session = Fault.start faults in
+  let traced = Trace.enabled trace in
+  let boundaries =
+    if not traced then ref []
+    else
+      ref
+        (List.sort compare
+           (List.concat_map
+              (fun c ->
+                let crash = (c.Fault.at, Trace.Crash c.Fault.node) in
+                match c.Fault.until with
+                | None -> [ crash ]
+                | Some u -> [ crash; (u, Trace.Recover c.Fault.node) ])
+              (Fault.crashes faults)))
+  in
+  let emit_boundaries now =
+    let rec loop () =
+      match !boundaries with
+      | (t, ev) :: rest when t <= now ->
+          Trace.emit trace ~t ev;
+          boundaries := rest;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
   let nodes =
     Array.init n (fun v ->
         let ustate, participates = init v in
@@ -73,10 +98,20 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     incr messages;
     volume := !volume + frame_volume frame;
     let verdict = Fault.transmit session ~src ~dst in
+    if traced then begin
+      let t = float_of_int !p in
+      Trace.emit trace ~t (Trace.Send { src; dst });
+      if verdict.Fault.copies = 0 then Trace.emit trace ~t (Trace.Drop { src; dst })
+      else if verdict.Fault.copies > 1 then
+        Trace.emit trace ~t (Trace.Duplicate { src; dst })
+    end;
     for _ = 1 to verdict.Fault.copies do
       (* a corrupted copy fails its checksum on arrival: silently
          discarded, recovered by retransmission *)
-      if verdict.Fault.corrupted then Fault.count_drop session
+      if verdict.Fault.corrupted then begin
+        Fault.count_drop session;
+        if traced then Trace.emit trace ~t:(float_of_int !p) (Trace.Drop { src; dst })
+      end
       else begin
         let buf = if verdict.Fault.reordered then late else nxt in
         !buf.(dst) <- (src, frame) :: !buf.(dst)
@@ -156,10 +191,18 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     let nd = nodes.(v) in
     let frames = List.rev !cur.(v) in
     if frames <> [] then
-      if is_crashed v then List.iter (fun _ -> Fault.count_drop session) frames
+      if is_crashed v then
+        List.iter
+          (fun (w, _) ->
+            Fault.count_drop session;
+            if traced then
+              Trace.emit trace ~t:(float_of_int !p) (Trace.Drop { src = w; dst = v }))
+          frames
       else
         List.iter
           (fun (w, frame) ->
+            if traced then
+              Trace.emit trace ~t:(float_of_int !p) (Trace.Recv { src = w; dst = v });
             match frame with
             | Ack lr -> Hashtbl.remove nd.pending (w, lr)
             | Data { lround; payloads; halting } ->
@@ -185,10 +228,15 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
           match config.max_retries with
           | Some budget when pd.tries >= budget ->
               Hashtbl.remove nd.pending (w, lr);
-              Fault.count_drop session
+              Fault.count_drop session;
+              if traced then
+                Trace.emit trace ~t:(float_of_int !p) (Trace.Drop { src = v; dst = w })
           | _ ->
               pd.tries <- pd.tries + 1;
               incr retransmits;
+              if traced then
+                Trace.emit trace ~t:(float_of_int !p)
+                  (Trace.Retransmit { src = v; dst = w });
               pd.interval <- Float.min config.max_interval (pd.interval *. config.backoff);
               pd.next_tx <- !p + int_of_float (ceil pd.interval);
               xmit v w (Data { lround = lr; payloads = pd.payloads; halting = pd.halting }))
@@ -213,6 +261,10 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
   while not (finished ()) do
     if !p >= max_rounds then raise (Sync.Did_not_terminate max_rounds);
     incr p;
+    if traced then begin
+      Trace.emit trace ~t:(float_of_int !p) (Trace.Round_start !p);
+      emit_boundaries (float_of_int !p)
+    end;
     for v = 0 to n - 1 do
       process v
     done;
@@ -231,6 +283,7 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     for v = 0 to n - 1 do
       retransmit v
     done;
+    if traced then Trace.emit trace ~t:(float_of_int !p) (Trace.Round_end !p);
     let consumed = !cur in
     cur := !nxt;
     nxt := !late;
@@ -261,12 +314,20 @@ let raw_runner =
     faulty = false;
   }
 
-let runner ?(faults = Fault.none) ?config () =
-  if Fault.is_none faults then raw_runner
+let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) () =
+  if Fault.is_none faults then
+    if not (Trace.enabled trace) then raw_runner
+    else
+      {
+        run =
+          (fun ?max_rounds ?weight g ~init ~step ->
+            Sync.run ?max_rounds ?weight ~trace g ~init ~step);
+        faulty = false;
+      }
   else
     {
       run =
         (fun ?max_rounds ?weight g ~init ~step ->
-          run_sync ?max_rounds ?weight ~faults ?config g ~init ~step);
+          run_sync ?max_rounds ?weight ~faults ?config ~trace g ~init ~step);
       faulty = true;
     }

@@ -47,6 +47,7 @@ val run_sync :
   ?weight:('msg -> int) ->
   ?faults:Fault.plan ->
   ?config:config ->
+  ?trace:Trace.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) Sync.step ->
@@ -59,7 +60,12 @@ val run_sync :
     counts retransmissions alone — compare against the raw engine's
     stats to measure the cost of reliability.  [max_rounds] bounds
     physical rounds (default [10_000 + 100 * n]); a protocol stalled by
-    an unrecoverable crash raises {!Sync.Did_not_terminate}. *)
+    an unrecoverable crash raises {!Sync.Did_not_terminate}.
+
+    [trace] records {e physical} events: every frame (data, ack,
+    retransmission) is a [Send], every consumed frame a [Recv], and each
+    retransmission additionally emits [Retransmit] — so traced
+    retransmit events reconcile exactly with the stats counter. *)
 
 type sync_runner = {
   run :
@@ -79,6 +85,7 @@ type sync_runner = {
 val raw_runner : sync_runner
 (** {!Sync.run} itself. *)
 
-val runner : ?faults:Fault.plan -> ?config:config -> unit -> sync_runner
+val runner :
+  ?faults:Fault.plan -> ?config:config -> ?trace:Trace.sink -> unit -> sync_runner
 (** The reliable engine over [faults]; with an empty plan this is
-    {!raw_runner}. *)
+    {!raw_runner} (or a traced {!Sync.run} when [trace] is enabled). *)

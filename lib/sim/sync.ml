@@ -7,13 +7,45 @@ type ('state, 'msg) step =
 
 exception Did_not_terminate of int
 
-let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt g ~init ~step =
+let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?(trace = Trace.null) g ~init
+    ~step =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
   let session =
     match faults with
     | Some p when not (Fault.is_none p) -> Some (Fault.start p)
     | _ -> None
+  in
+  let traced = Trace.enabled trace in
+  (* crash/recovery boundaries from the plan, emitted (at plan time) once
+     the round clock crosses them; ascending so alternation is preserved *)
+  let boundaries =
+    if not traced then ref []
+    else
+      match faults with
+      | Some p ->
+          let evs =
+            List.concat_map
+              (fun c ->
+                let crash = (c.Fault.at, Trace.Crash c.Fault.node) in
+                match c.Fault.until with
+                | None -> [ crash ]
+                | Some u -> [ crash; (u, Trace.Recover c.Fault.node) ])
+              (Fault.crashes p)
+          in
+          ref (List.sort compare evs)
+      | None -> ref []
+  in
+  let emit_boundaries now =
+    let rec loop () =
+      match !boundaries with
+      | (t, ev) :: rest when t <= now ->
+          Trace.emit trace ~t ev;
+          boundaries := rest;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
   in
   let states = Array.init n (fun v -> fst (init v)) in
   let live = Array.init n (fun v -> snd (init v)) in
@@ -40,11 +72,17 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt g ~init ~step =
   let corrupt_payload payload =
     match corrupt with Some f -> f payload | None -> payload
   in
-  let deliver v payload (dest : int) =
+  let deliver ~now v payload (dest : int) =
     match session with
     | None -> !next_inboxes.(dest) <- (v, payload) :: !next_inboxes.(dest)
     | Some s ->
         let verdict = Fault.transmit s ~src:v ~dst:dest in
+        if traced then begin
+          if verdict.Fault.copies = 0 then
+            Trace.emit trace ~t:now (Trace.Drop { src = v; dst = dest })
+          else if verdict.Fault.copies > 1 then
+            Trace.emit trace ~t:now (Trace.Duplicate { src = v; dst = dest })
+        end;
         for _ = 1 to verdict.Fault.copies do
           let payload = if verdict.Fault.corrupted then corrupt_payload payload else payload in
           let buffer = if verdict.Fault.reordered then late_inboxes else next_inboxes in
@@ -55,15 +93,27 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt g ~init ~step =
     if !rounds >= max_rounds then raise (Did_not_terminate max_rounds);
     incr rounds;
     let now = float_of_int !rounds in
+    if traced then begin
+      Trace.emit trace ~t:now (Trace.Round_start !rounds);
+      emit_boundaries now
+    end;
     for v = 0 to n - 1 do
       if live.(v) then begin
         match session with
         | Some s when Fault.crashed s v now ->
             (* crashed: messages addressed to it are lost, it does not step *)
-            List.iter (fun _ -> Fault.count_drop s) !inboxes.(v)
+            List.iter
+              (fun (src, _) ->
+                Fault.count_drop s;
+                if traced then Trace.emit trace ~t:now (Trace.Drop { src; dst = v }))
+              !inboxes.(v)
         | _ ->
             (* deliver in sender order for determinism *)
             let inbox = List.sort compare !inboxes.(v) in
+            if traced then
+              List.iter
+                (fun (src, _) -> Trace.emit trace ~t:now (Trace.Recv { src; dst = v }))
+                inbox;
             let state, outcome = step ~round:!rounds v states.(v) inbox in
             states.(v) <- state;
             let outgoing =
@@ -80,10 +130,12 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt g ~init ~step =
                     (Printf.sprintf "Sync.run: node %d sent to non-neighbor %d" v dest);
                 incr messages;
                 volume := !volume + max 1 (weight payload);
-                deliver v payload dest)
+                if traced then Trace.emit trace ~t:now (Trace.Send { src = v; dst = dest });
+                deliver ~now v payload dest)
               outgoing
       end
     done;
+    if traced then Trace.emit trace ~t:now (Trace.Round_end !rounds);
     (* rotate: next -> current, late -> next *)
     let consumed = !inboxes in
     inboxes := !next_inboxes;

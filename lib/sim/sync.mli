@@ -25,6 +25,7 @@ val run :
   ?weight:('msg -> int) ->
   ?faults:Fault.plan ->
   ?corrupt:('msg -> 'msg) ->
+  ?trace:Trace.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) step ->
@@ -46,4 +47,10 @@ val run :
     recovery it resumes with its pre-crash state.  [corrupt] transforms
     payloads the fault plan marks as corrupted (identity when omitted).
     Protocols are {e not} expected to survive this raw engine — wrap
-    them with {!Reliable.run_sync} for exactly-once FIFO delivery. *)
+    them with {!Reliable.run_sync} for exactly-once FIFO delivery.
+
+    [trace] (default {!Trace.null}) receives one {!Trace.event} per
+    round boundary, transmission, user-level delivery, counted loss,
+    channel duplicate, and plan crash/recovery boundary, all stamped
+    with the round number.  With the null sink the engine skips event
+    construction entirely. *)

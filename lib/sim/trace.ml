@@ -1,0 +1,737 @@
+open Fdlsp_graph
+
+type event =
+  | Round_start of int
+  | Round_end of int
+  | Send of { src : int; dst : int }
+  | Recv of { src : int; dst : int }
+  | Drop of { src : int; dst : int }
+  | Duplicate of { src : int; dst : int }
+  | Retransmit of { src : int; dst : int }
+  | Crash of int
+  | Recover of int
+  | Phase of { label : string; scale : int }
+  | Mis_join of int
+  | Color of { node : int; arc : Arc.id; slot : int }
+
+type timed = { t : float; ev : event }
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type buffer = {
+  capacity : int;
+  mutable ring : timed array;  (* grows lazily up to [capacity] *)
+  mutable count : int;  (* total events ever emitted *)
+}
+
+type sink = Null | Memory of buffer | Channel of { oc : out_channel; mutable n : int }
+
+let null = Null
+
+let memory ?(capacity = 1_048_576) () =
+  if capacity <= 0 then invalid_arg "Trace.memory: capacity must be positive";
+  Memory { capacity; ring = [||]; count = 0 }
+
+let to_channel oc = Channel { oc; n = 0 }
+let enabled = function Null -> false | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Times are round numbers or sums of link delays: %g keeps integers
+   unadorned (1 not 1.000000) while preserving fractional delays. *)
+let json_float t = Printf.sprintf "%g" t
+
+let event_to_json { t; ev } =
+  let time = json_float t in
+  let link kind src dst =
+    Printf.sprintf {|{"ev":"%s","t":%s,"src":%d,"dst":%d}|} kind time src dst
+  in
+  let node kind v = Printf.sprintf {|{"ev":"%s","t":%s,"node":%d}|} kind time v in
+  match ev with
+  | Round_start r -> Printf.sprintf {|{"ev":"round_start","t":%s,"round":%d}|} time r
+  | Round_end r -> Printf.sprintf {|{"ev":"round_end","t":%s,"round":%d}|} time r
+  | Send { src; dst } -> link "send" src dst
+  | Recv { src; dst } -> link "recv" src dst
+  | Drop { src; dst } -> link "drop" src dst
+  | Duplicate { src; dst } -> link "duplicate" src dst
+  | Retransmit { src; dst } -> link "retransmit" src dst
+  | Crash v -> node "crash" v
+  | Recover v -> node "recover" v
+  | Phase { label; scale } ->
+      Printf.sprintf {|{"ev":"phase","t":%s,"label":%s,"scale":%d}|} time
+        (escape_string label) scale
+  | Mis_join v -> node "mis_join" v
+  | Color { node; arc; slot } ->
+      Printf.sprintf {|{"ev":"color","t":%s,"node":%d,"arc":%d,"slot":%d}|} time node arc
+        slot
+
+let emit sink ~t ev =
+  match sink with
+  | Null -> ()
+  | Memory b ->
+      if Array.length b.ring < b.capacity then begin
+        (* still growing: append (amortized doubling) *)
+        let len = Array.length b.ring in
+        if b.count >= len then begin
+          let cap = min b.capacity (max 64 (2 * len)) in
+          let ring = Array.make cap { t; ev } in
+          Array.blit b.ring 0 ring 0 len;
+          b.ring <- ring
+        end;
+        b.ring.(b.count) <- { t; ev };
+        b.count <- b.count + 1
+      end
+      else begin
+        b.ring.(b.count mod b.capacity) <- { t; ev };
+        b.count <- b.count + 1
+      end
+  | Channel c ->
+      output_string c.oc (event_to_json { t; ev });
+      output_char c.oc '\n';
+      c.n <- c.n + 1
+
+let seen = function Null -> 0 | Memory b -> b.count | Channel c -> c.n
+
+let events = function
+  | Null -> [||]
+  | Memory b ->
+      if b.count <= Array.length b.ring then Array.sub b.ring 0 b.count
+      else begin
+        (* ring wrapped: oldest surviving event is at count mod capacity *)
+        let cap = b.capacity in
+        let start = b.count mod cap in
+        Array.init cap (fun i -> b.ring.((start + i) mod cap))
+      end
+  | Channel _ -> invalid_arg "Trace.events: channel sink does not buffer"
+
+let overwritten = function
+  | Null | Channel _ -> 0
+  | Memory b -> max 0 (b.count - b.capacity)
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Obj of (string * t) list
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "Trace.Json: %s at offset %d" msg !pos) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      let len = String.length word in
+      if !pos + len <= n && String.sub s !pos len = word then begin
+        pos := !pos + len;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape";
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'u' ->
+                 advance ();
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 let code =
+                   try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                 in
+                 pos := !pos + 4;
+                 (* trace strings are ASCII; encode BMP as UTF-8 for safety *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            loop ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      let digits () =
+        while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+          advance ()
+        done
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        advance ();
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+          advance ();
+          (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+          digits ()
+      | _ -> ());
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let value = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, value) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((key, value) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+let json_int name j =
+  match Json.member name j with
+  | Some (Json.Num f) when Float.is_integer f -> int_of_float f
+  | _ -> failwith (Printf.sprintf "Trace: missing or non-integer field %S" name)
+
+let json_str name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> failwith (Printf.sprintf "Trace: missing or non-string field %S" name)
+
+let json_time j =
+  match Json.member "t" j with
+  | Some (Json.Num f) -> f
+  | _ -> failwith "Trace: missing or non-numeric field \"t\""
+
+let event_of_json line =
+  let j = Json.parse line in
+  let t = json_time j in
+  let ev =
+    match json_str "ev" j with
+    | "round_start" -> Round_start (json_int "round" j)
+    | "round_end" -> Round_end (json_int "round" j)
+    | "send" -> Send { src = json_int "src" j; dst = json_int "dst" j }
+    | "recv" -> Recv { src = json_int "src" j; dst = json_int "dst" j }
+    | "drop" -> Drop { src = json_int "src" j; dst = json_int "dst" j }
+    | "duplicate" -> Duplicate { src = json_int "src" j; dst = json_int "dst" j }
+    | "retransmit" -> Retransmit { src = json_int "src" j; dst = json_int "dst" j }
+    | "crash" -> Crash (json_int "node" j)
+    | "recover" -> Recover (json_int "node" j)
+    | "phase" -> Phase { label = json_str "label" j; scale = json_int "scale" j }
+    | "mis_join" -> Mis_join (json_int "node" j)
+    | "color" ->
+        Color { node = json_int "node" j; arc = json_int "arc" j; slot = json_int "slot" j }
+    | kind -> failwith (Printf.sprintf "Trace: unknown event kind %S" kind)
+  in
+  { t; ev }
+
+(* ------------------------------------------------------------------ *)
+(* Trace files                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type writer = { w_oc : out_channel; w_sink : sink; owns : bool }
+
+let write_header oc meta =
+  let meta_json =
+    meta
+    |> List.map (fun (k, v) -> Printf.sprintf "%s:%s" (escape_string k) (escape_string v))
+    |> String.concat ","
+  in
+  Printf.fprintf oc {|{"trace":"fdlsp","version":1,"meta":{%s}}|} meta_json;
+  output_char oc '\n'
+
+let writer_to_channel ?(meta = []) oc =
+  write_header oc meta;
+  { w_oc = oc; w_sink = to_channel oc; owns = false }
+
+let open_writer ?(meta = []) path =
+  let oc = open_out path in
+  write_header oc meta;
+  { w_oc = oc; w_sink = to_channel oc; owns = true }
+
+let writer_sink w = w.w_sink
+
+let close_writer ?stats w =
+  (match stats with
+  | None -> output_string w.w_oc {|{"end":true}|}
+  | Some s -> Printf.fprintf w.w_oc {|{"end":true,"stats":%s}|} (Stats.to_json s));
+  output_char w.w_oc '\n';
+  if w.owns then close_out w.w_oc else flush w.w_oc
+
+type file = {
+  meta : (string * string) list;
+  events : timed array;
+  stats : Stats.t option;
+}
+
+let stats_of_json j =
+  Stats.make ~rounds:(json_int "rounds" j) ~messages:(json_int "messages" j)
+    ~volume:(json_int "volume" j) ~dropped:(json_int "dropped" j)
+    ~duplicated:(json_int "duplicated" j) ~retransmits:(json_int "retransmits" j) ()
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let fail msg = failwith (Printf.sprintf "%s:%d: %s" path !lineno msg) in
+      let next () =
+        match input_line ic with
+        | line ->
+            incr lineno;
+            Some line
+        | exception End_of_file -> None
+      in
+      let meta =
+        match next () with
+        | None -> fail "empty trace file"
+        | Some line -> (
+            let j = try Json.parse line with Failure m -> fail m in
+            match (Json.member "trace" j, Json.member "meta" j) with
+            | Some (Json.Str "fdlsp"), Some (Json.Obj fields) ->
+                List.map
+                  (fun (k, v) ->
+                    match v with
+                    | Json.Str s -> (k, s)
+                    | _ -> fail (Printf.sprintf "non-string meta value for %S" k))
+                  fields
+            | Some (Json.Str "fdlsp"), None -> []
+            | _ -> fail "missing fdlsp trace header")
+      in
+      let events = ref [] in
+      let stats = ref None in
+      let finished = ref false in
+      let rec loop () =
+        match next () with
+        | None -> if not !finished then fail "missing end-of-trace trailer"
+        | Some "" -> loop ()
+        | Some line ->
+            if !finished then fail "content after end-of-trace trailer"
+            else begin
+              let j = try Json.parse line with Failure m -> fail m in
+              (match Json.member "end" j with
+              | Some (Json.Bool true) ->
+                  finished := true;
+                  (match Json.member "stats" j with
+                  | Some sj -> (
+                      match stats_of_json sj with
+                      | s -> stats := Some s
+                      | exception Failure m -> fail m)
+                  | None -> ())
+              | _ -> (
+                  match event_of_json line with
+                  | ev -> events := ev :: !events
+                  | exception Failure m -> fail m));
+              loop ()
+            end
+      in
+      loop ();
+      { meta; events = Array.of_list (List.rev !events); stats = !stats })
+
+let save ?(meta = []) ?stats path events =
+  let w = open_writer ~meta path in
+  Array.iter
+    (fun { t; ev } ->
+      output_string w.w_oc (event_to_json { t; ev });
+      output_char w.w_oc '\n')
+    events;
+  close_writer ?stats w
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = struct
+  type phase = {
+    label : string;
+    scale : int;
+    rounds : int;
+    sends : int;
+    recvs : int;
+    drops : int;
+    duplicates : int;
+    retransmits : int;
+    crashes : int;
+    recoveries : int;
+    mis_joins : int;
+    colors : int;
+  }
+
+  type t = { phases : phase list; events : int }
+
+  type acc = {
+    a_label : string;
+    a_scale : int;
+    mutable a_round_starts : int;
+    mutable a_last_recv : float;
+    mutable a_sends : int;
+    mutable a_recvs : int;
+    mutable a_drops : int;
+    mutable a_duplicates : int;
+    mutable a_retransmits : int;
+    mutable a_crashes : int;
+    mutable a_recoveries : int;
+    mutable a_mis_joins : int;
+    mutable a_colors : int;
+    mutable a_touched : bool;
+  }
+
+  let fresh label scale =
+    {
+      a_label = label;
+      a_scale = scale;
+      a_round_starts = 0;
+      a_last_recv = 0.;
+      a_sends = 0;
+      a_recvs = 0;
+      a_drops = 0;
+      a_duplicates = 0;
+      a_retransmits = 0;
+      a_crashes = 0;
+      a_recoveries = 0;
+      a_mis_joins = 0;
+      a_colors = 0;
+      a_touched = false;
+    }
+
+  let close a =
+    (* synchronous segments carry Round_start markers; an async segment's
+       round count is the ceiling of its last user-level delivery time,
+       matching Async.run's own rounds statistic *)
+    let rounds =
+      if a.a_round_starts > 0 then a.a_round_starts
+      else int_of_float (Float.ceil a.a_last_recv)
+    in
+    {
+      label = a.a_label;
+      scale = a.a_scale;
+      rounds;
+      sends = a.a_sends;
+      recvs = a.a_recvs;
+      drops = a.a_drops;
+      duplicates = a.a_duplicates;
+      retransmits = a.a_retransmits;
+      crashes = a.a_crashes;
+      recoveries = a.a_recoveries;
+      mis_joins = a.a_mis_joins;
+      colors = a.a_colors;
+    }
+
+  let of_events evs =
+    let phases = ref [] in
+    let cur = ref (fresh "run" 1) in
+    let flush () = if !cur.a_touched then phases := close !cur :: !phases in
+    Array.iter
+      (fun { t; ev } ->
+        let a = !cur in
+        match ev with
+        | Phase { label; scale } ->
+            flush ();
+            cur := fresh label scale;
+            !cur.a_touched <- true
+        | Round_start _ ->
+            a.a_round_starts <- a.a_round_starts + 1;
+            a.a_touched <- true
+        | Round_end _ -> a.a_touched <- true
+        | Send _ ->
+            a.a_sends <- a.a_sends + 1;
+            a.a_touched <- true
+        | Recv _ ->
+            a.a_recvs <- a.a_recvs + 1;
+            a.a_last_recv <- Float.max a.a_last_recv t;
+            a.a_touched <- true
+        | Drop _ ->
+            a.a_drops <- a.a_drops + 1;
+            a.a_touched <- true
+        | Duplicate _ ->
+            a.a_duplicates <- a.a_duplicates + 1;
+            a.a_touched <- true
+        | Retransmit _ ->
+            a.a_retransmits <- a.a_retransmits + 1;
+            a.a_touched <- true
+        | Crash _ ->
+            a.a_crashes <- a.a_crashes + 1;
+            a.a_touched <- true
+        | Recover _ ->
+            a.a_recoveries <- a.a_recoveries + 1;
+            a.a_touched <- true
+        | Mis_join _ ->
+            a.a_mis_joins <- a.a_mis_joins + 1;
+            a.a_touched <- true
+        | Color _ ->
+            a.a_colors <- a.a_colors + 1;
+            a.a_touched <- true)
+      evs;
+    flush ();
+    { phases = List.rev !phases; events = Array.length evs }
+
+  let totals { phases; _ } =
+    List.fold_left
+      (fun acc p ->
+        let k = p.scale in
+        {
+          acc with
+          rounds = acc.rounds + (k * p.rounds);
+          sends = acc.sends + (k * p.sends);
+          recvs = acc.recvs + (k * p.recvs);
+          drops = acc.drops + (k * p.drops);
+          duplicates = acc.duplicates + (k * p.duplicates);
+          retransmits = acc.retransmits + (k * p.retransmits);
+          crashes = acc.crashes + p.crashes;
+          recoveries = acc.recoveries + p.recoveries;
+          mis_joins = acc.mis_joins + p.mis_joins;
+          colors = acc.colors + p.colors;
+        })
+      (close (fresh "total" 1))
+      phases
+
+  let pp_phase ppf p =
+    Format.fprintf ppf
+      "phase=%s scale=%d rounds=%d sends=%d recvs=%d drops=%d duplicates=%d \
+       retransmits=%d crashes=%d mis_joins=%d colors=%d"
+      p.label p.scale p.rounds p.sends p.recvs p.drops p.duplicates p.retransmits
+      p.crashes p.mis_joins p.colors
+
+  let pp ppf s =
+    List.iter (fun p -> Format.fprintf ppf "%a@." pp_phase p) s.phases;
+    Format.fprintf ppf "%a events=%d@." pp_phase (totals s) s.events
+
+  let phase_to_json p =
+    Printf.sprintf
+      {|{"label":%s,"scale":%d,"rounds":%d,"sends":%d,"recvs":%d,"drops":%d,"duplicates":%d,"retransmits":%d,"crashes":%d,"recoveries":%d,"mis_joins":%d,"colors":%d}|}
+      (escape_string p.label) p.scale p.rounds p.sends p.recvs p.drops p.duplicates
+      p.retransmits p.crashes p.recoveries p.mis_joins p.colors
+
+  let to_json s =
+    Printf.sprintf {|{"events":%d,"phases":[%s],"totals":%s}|} s.events
+      (String.concat "," (List.map phase_to_json s.phases))
+      (phase_to_json (totals s))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Replay verification                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Replay = struct
+  type report = {
+    events : int;
+    colors : int;
+    mis_joins : int;
+    retransmit_events : int;
+    crash_events : int;
+    schedule : Fdlsp_color.Schedule.t;
+  }
+
+  exception Reject of string
+
+  let rejectf fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt
+
+  (* Decision check: rebuild the schedule color by color, insisting each
+     assignment is made by an endpoint of the arc, never re-colors, and
+     never clashes with an earlier decision. *)
+  let check_decisions g evs =
+    let module S = Fdlsp_color.Schedule in
+    let narcs = Arc.count g in
+    let sched = S.make g in
+    let colors = ref 0 in
+    Array.iteri
+      (fun i { ev; _ } ->
+        match ev with
+        | Color { node; arc; slot } ->
+            incr colors;
+            if arc < 0 || arc >= narcs then
+              rejectf "event %d: arc %d out of range (graph has %d arcs)" i arc narcs;
+            if node <> Arc.tail g arc && node <> Arc.head g arc then
+              rejectf "event %d: node %d colored non-incident arc %d (%d->%d)" i node arc
+                (Arc.tail g arc) (Arc.head g arc);
+            if slot < 0 then rejectf "event %d: negative slot %d" i slot;
+            if S.is_colored sched arc then
+              rejectf "event %d: arc %d colored twice (had %d, now %d)" i arc
+                (S.get sched arc) slot;
+            Fdlsp_color.Conflict.iter_conflicting g arc (fun b ->
+                if S.get sched b = slot then
+                  rejectf
+                    "event %d: arc %d slot %d clashes with earlier decision on arc %d" i
+                    arc slot b);
+            S.set sched arc slot
+        | _ -> ())
+      evs;
+    (sched, !colors)
+
+  let check_accounting (stats : Stats.t) summary =
+    let t = Summary.totals summary in
+    let mismatch name traced recorded =
+      rejectf "accounting: %s from trace = %d but stats say %d" name traced recorded
+    in
+    if t.Summary.rounds <> stats.Stats.rounds then
+      mismatch "rounds" t.Summary.rounds stats.Stats.rounds;
+    if t.Summary.sends <> stats.Stats.messages then
+      mismatch "messages" t.Summary.sends stats.Stats.messages;
+    if t.Summary.drops <> stats.Stats.dropped then
+      mismatch "dropped" t.Summary.drops stats.Stats.dropped;
+    if t.Summary.duplicates <> stats.Stats.duplicated then
+      mismatch "duplicated" t.Summary.duplicates stats.Stats.duplicated;
+    if t.Summary.retransmits <> stats.Stats.retransmits then
+      mismatch "retransmits" t.Summary.retransmits stats.Stats.retransmits
+
+  let check_crashes plan evs =
+    let crash_list = Fault.crashes plan in
+    let s = Fault.start plan in
+    let is_boundary_at v t =
+      List.exists (fun c -> c.Fault.node = v && c.Fault.at = t) crash_list
+    in
+    let is_boundary_until v t =
+      List.exists (fun c -> c.Fault.node = v && c.Fault.until = Some t) crash_list
+    in
+    (* per-node "currently down" flag; Phase markers reset engine clocks,
+       so alternation is tracked within a segment *)
+    let down = Hashtbl.create 8 in
+    Array.iteri
+      (fun i { t; ev } ->
+        match ev with
+        | Phase _ -> Hashtbl.reset down
+        | Crash v ->
+            if not (is_boundary_at v t) then
+              rejectf "event %d: node %d crash at t=%g matches no plan window" i v t;
+            if Hashtbl.mem down v then
+              rejectf "event %d: node %d crashed twice without recovering" i v;
+            Hashtbl.replace down v ()
+        | Recover v ->
+            if not (is_boundary_until v t) then
+              rejectf "event %d: node %d recovery at t=%g matches no plan window" i v t;
+            if not (Hashtbl.mem down v) then
+              rejectf "event %d: node %d recovered without a preceding crash" i v;
+            Hashtbl.remove down v
+        | Send { src; dst } ->
+            if Fault.crashed s src t then
+              rejectf "event %d: crashed node %d sent to %d at t=%g" i src dst t
+        | Recv { src; dst } ->
+            if Fault.crashed s dst t then
+              rejectf "event %d: crashed node %d received from %d at t=%g" i dst src t
+        | _ -> ())
+      evs
+
+  let check ?plan ?stats ?(require_complete = false) g evs =
+    let module S = Fdlsp_color.Schedule in
+    try
+      let sched, colors = check_decisions g evs in
+      (if require_complete then
+         match S.validate sched with
+         | Ok () -> ()
+         | Error v ->
+             rejectf "final schedule invalid: %s"
+               (Format.asprintf "%a" (S.pp_violation g) v)
+       else if not (S.valid_partial sched) then
+         rejectf "rebuilt partial schedule has a conflict");
+      let summary = Summary.of_events evs in
+      Option.iter (fun s -> check_accounting s summary) stats;
+      Option.iter (fun p -> check_crashes p evs) plan;
+      let totals = Summary.totals summary in
+      Ok
+        {
+          events = Array.length evs;
+          colors;
+          mis_joins = totals.Summary.mis_joins;
+          retransmit_events = totals.Summary.retransmits;
+          crash_events = totals.Summary.crashes;
+          schedule = sched;
+        }
+    with Reject msg -> Error msg
+end

@@ -1,0 +1,213 @@
+(** Structured event tracing for both simulation engines, and the replay
+    checker that re-validates a finished run from its trace alone.
+
+    A trace is a stream of {!timed} events: engine-level channel events
+    (send / recv / drop / duplicate / retransmit), round markers, node
+    crash / recovery transitions, and algorithm-level phase markers and
+    decisions ("joined the MIS", "colored arc [a] with slot [c]").  The
+    engines and algorithms emit into a {!sink}: {!null} (the default —
+    no events are even constructed), a bounded in-memory ring buffer
+    ({!memory}), or a JSONL channel/file writer.
+
+    {b Timeline semantics.}  Event times are {e engine-local}: each
+    engine run restarts its clock (round 1 / time 0), so a multi-phase
+    algorithm like DistMIS produces a trace whose authoritative order is
+    {e stream order}, with {!Phase} markers delimiting the engine runs.
+    A [Phase] marker's [scale] records how many physical rounds one
+    traced round of that segment costs (e.g. the distance-3 relay of
+    DistMIS's secondary MIS), so aggregate {!Stats.t} figures can be
+    reconciled exactly: [stats.rounds = sum over segments of
+    scale * rounds-in-segment], and likewise for messages, drops,
+    duplicates and retransmissions. *)
+
+open Fdlsp_graph
+
+type event =
+  | Round_start of int
+  | Round_end of int
+  | Send of { src : int; dst : int }  (** one point-to-point transmission *)
+  | Recv of { src : int; dst : int }  (** one user-level delivery *)
+  | Drop of { src : int; dst : int }
+      (** a counted loss: channel drop, checksum failure, delivery to a
+          crashed node, or an exhausted retransmission budget *)
+  | Duplicate of { src : int; dst : int }
+      (** the channel injected a second copy of this transmission *)
+  | Retransmit of { src : int; dst : int }
+      (** the reliable layer re-sent an unacknowledged frame *)
+  | Crash of int
+  | Recover of int
+  | Phase of { label : string; scale : int }
+      (** starts a new segment; [scale] = physical rounds per traced
+          round of the segment (1 unless the phase is relayed) *)
+  | Mis_join of int  (** decision: node joined the (primary) MIS *)
+  | Color of { node : int; arc : Arc.id; slot : int }
+      (** decision: [node] assigned [slot] to its incident arc [arc] *)
+
+type timed = { t : float; ev : event }
+(** [t] is the emitting engine's local clock (the round number for the
+    synchronous engines). *)
+
+(** {2 Sinks} *)
+
+type sink
+
+val null : sink
+(** Discards everything.  Engines detect it up front and skip event
+    construction entirely, so a disabled trace costs nothing. *)
+
+val memory : ?capacity:int -> unit -> sink
+(** Bounded ring buffer keeping the most recent [capacity] events
+    (default [1_048_576]); older events are overwritten, counted by
+    {!overwritten}. *)
+
+val to_channel : out_channel -> sink
+(** Streams each event as one JSON line (see {!event_to_json}).  The
+    caller owns the channel; prefer {!open_writer} for self-contained
+    trace files. *)
+
+val enabled : sink -> bool
+(** [false] only for {!null}. *)
+
+val emit : sink -> t:float -> event -> unit
+val seen : sink -> int
+(** Events emitted into this sink (including overwritten ones). *)
+
+val events : sink -> timed array
+(** Buffered events in emission order.  Raises [Invalid_argument] on a
+    channel sink (its events are already on the wire). *)
+
+val overwritten : sink -> int
+(** Events lost to ring-buffer wraparound (0 for other sinks). *)
+
+(** {2 JSONL encoding} *)
+
+val event_to_json : timed -> string
+(** One flat JSON object, no trailing newline. *)
+
+val event_of_json : string -> timed
+(** Raises [Failure] on malformed input or an unknown event shape. *)
+
+(** Minimal strict JSON reader used by the trace format (objects,
+    strings, numbers, booleans, null — arrays are not needed).  Exposed
+    so tests and tools can parse the repository's JSON output without an
+    external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Obj of (string * t) list
+
+  val parse : string -> t
+  (** Parses exactly one value (trailing whitespace allowed); raises
+      [Failure] with a position on malformed input. *)
+
+  val member : string -> t -> t option
+end
+
+(** {2 Trace files}
+
+    A trace file is JSONL: a header line
+    [{"trace":"fdlsp","version":1,"meta":{...}}] with free-form string
+    metadata, one line per event, and a trailer line
+    [{"end":true,"stats":{...}}] (stats optional) — making every
+    recorded run a self-contained, re-checkable artifact. *)
+
+type writer
+
+val open_writer : ?meta:(string * string) list -> string -> writer
+val writer_to_channel : ?meta:(string * string) list -> out_channel -> writer
+val writer_sink : writer -> sink
+
+val close_writer : ?stats:Stats.t -> writer -> unit
+(** Writes the trailer; closes the channel iff the writer owns it. *)
+
+type file = {
+  meta : (string * string) list;
+  events : timed array;
+  stats : Stats.t option;  (** from the trailer, when recorded *)
+}
+
+val load : string -> file
+(** Raises [Failure] with a line number on malformed input. *)
+
+val save : ?meta:(string * string) list -> ?stats:Stats.t -> string -> timed array -> unit
+
+(** {2 Per-phase summaries} *)
+
+module Summary : sig
+  type phase = {
+    label : string;
+    scale : int;
+    rounds : int;
+        (** [Round_start] count for synchronous segments; otherwise the
+            ceiling of the last user-level delivery time *)
+    sends : int;
+    recvs : int;
+    drops : int;
+    duplicates : int;
+    retransmits : int;
+    crashes : int;
+    recoveries : int;
+    mis_joins : int;
+    colors : int;
+  }
+
+  type t = { phases : phase list; events : int }
+
+  val of_events : timed array -> t
+  (** Splits the stream at {!Phase} markers; events before the first
+      marker form an implicit ["run"] segment. *)
+
+  val totals : t -> phase
+  (** Scale-weighted sums over all segments (label ["total"], scale 1):
+      directly comparable to the run's aggregate {!Stats.t}. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One stable [key=value] line per segment plus a totals line. *)
+
+  val to_json : t -> string
+end
+
+(** {2 Replay verification} *)
+
+module Replay : sig
+  (** Re-validates a completed run from its trace alone:
+
+      - {b decisions}: every {!Color} event must name an in-range arc
+        incident to the deciding node, color each arc at most once, and
+        be conflict-free against every earlier decision; the rebuilt
+        schedule is finally checked with
+        {!Fdlsp_color.Schedule.validate} (complete traces) or
+        [valid_partial] — a validator independent of whatever structure
+        the scheduler used.
+      - {b accounting} (when [stats] is given): the scale-weighted
+        per-segment sums of rounds, sends, drops, duplicates and
+        retransmit events must equal the run's aggregate {!Stats.t}
+        fields exactly.
+      - {b crash windows} (when [plan] is given): every {!Crash} /
+        {!Recover} event must fall on the plan's crash boundaries, the
+        two must alternate per node within a segment, and no {!Send}
+        (from) or {!Recv} (to) may involve a node while the plan says it
+        is down. *)
+
+  type report = {
+    events : int;
+    colors : int;  (** decision events *)
+    mis_joins : int;
+    retransmit_events : int;
+    crash_events : int;
+    schedule : Fdlsp_color.Schedule.t;  (** rebuilt from the decisions *)
+  }
+
+  val check :
+    ?plan:Fault.plan ->
+    ?stats:Stats.t ->
+    ?require_complete:bool ->
+    Graph.t ->
+    timed array ->
+    (report, string) result
+  (** [require_complete] (default [false]) additionally demands that the
+      decisions color every arc of [g]. *)
+end

@@ -1,0 +1,113 @@
+(* Shared qcheck substrate for the test suite: graph arbitraries with a
+   real edge-subset shrinker, plus the [qtest] wrapper every suite uses.
+
+   Dune compiles the whole directory into each test executable, so this
+   module is the single definition site for the graph generators that
+   used to be copy-pasted across test files.  Per-file distribution
+   tweaks (max [n], edge density) stay at the call sites as optional
+   arguments.
+
+   [FDLSP_QCHECK_COUNT] caps every property's case count from the
+   environment (the [fast] alias sets it low for a quick smoke loop). *)
+
+open Fdlsp_graph
+
+let rng seed () = Random.State.make seed
+
+let case_count count =
+  match Sys.getenv_opt "FDLSP_QCHECK_COUNT" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some cap when cap > 0 -> min cap count
+      | _ -> count)
+  | None -> count
+
+let qtest name ~count arb prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:(case_count count) arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Edge-subset shrinker: a failing graph first tries to lose its last
+   node, then aligned chunks of its edge list (halving chunk sizes down
+   to single edges).  Candidates are ordered most-aggressive first and
+   qcheck re-shrinks whichever candidate still fails, so counterexamples
+   converge to a minimum under node removal + edge-subset removal.
+   [keep] filters candidates so shape invariants (tree, connected)
+   survive shrinking. *)
+let shrink_graph ?(keep = fun _ -> true) g =
+  let n = Graph.n g in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let without_range lo hi =
+    let l = ref [] in
+    for i = m - 1 downto 0 do
+      if i < lo || i >= hi then l := edges.(i) :: !l
+    done;
+    Graph.create ~n !l
+  in
+  let drop_node =
+    if n <= 1 then []
+    else
+      [
+        Graph.create ~n:(n - 1)
+          (List.filter (fun (u, v) -> u < n - 1 && v < n - 1) (Array.to_list edges));
+      ]
+  in
+  let drop_edges =
+    if m = 0 then []
+    else begin
+      let acc = ref [] in
+      let size = ref (max 1 (m / 2)) in
+      let looping = ref true in
+      while !looping do
+        let lo = ref 0 in
+        while !lo < m do
+          acc := without_range !lo (min m (!lo + !size)) :: !acc;
+          lo := !lo + !size
+        done;
+        if !size = 1 then looping := false else size := !size / 2
+      done;
+      List.rev !acc
+    end
+  in
+  List.to_seq (List.filter keep (drop_node @ drop_edges))
+
+let make ?keep gen = QCheck2.Gen.make_primitive ~gen ~shrink:(shrink_graph ?keep)
+
+(* ------------------------------------------------------------------ *)
+(* Arbitraries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let arb_gnp ?(min_n = 1) ?(max_n = 16) ?(max_p = 1.) () =
+  make (fun st ->
+      let n = min_n + Random.State.int st max_n in
+      let p = Random.State.float st max_p in
+      Gen.gnp st ~n ~p)
+
+let arb_udg () =
+  make (fun st ->
+      let n = 5 + Random.State.int st 40 in
+      let side = 3. +. Random.State.float st 5. in
+      fst (Gen.udg st ~n ~side ~radius:1.))
+
+let is_tree g = Graph.m g = Graph.n g - 1 && Traversal.is_connected g
+
+let arb_tree ?(min_n = 2) ?(max_n = 60) () =
+  make ~keep:is_tree (fun st -> Gen.random_tree st (min_n + Random.State.int st max_n))
+
+let arb_connected ?(max_n = 25) () =
+  make ~keep:Traversal.is_connected (fun st ->
+      let n = 3 + Random.State.int st max_n in
+      (* tree + extra random edges: connected by construction *)
+      let t = Gen.random_tree st n in
+      let extra = Random.State.int st (2 * n) in
+      let edges = ref (Array.to_list (Graph.edges t)) in
+      for _ = 1 to extra do
+        let u = Random.State.int st n and v = Random.State.int st n in
+        let e = (min u v, max u v) in
+        if u <> v && not (List.mem e !edges) then edges := e :: !edges
+      done;
+      Graph.create ~n !edges)

@@ -5,26 +5,12 @@
 open Fdlsp_graph
 open Fdlsp_color
 
-let rng () = Random.State.make [| 0xC0105; 7 |]
+let rng = Generators.rng [| 0xC0105; 7 |]
 
-let arb_gnp ?(max_n = 12) () =
-  let gen st =
-    let n = 1 + Random.State.int st max_n in
-    let p = Random.State.float st 1. in
-    Gen.gnp st ~n ~p
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let arb_udg () =
-  let gen st =
-    let n = 5 + Random.State.int st 40 in
-    let side = 3. +. Random.State.float st 5. in
-    fst (Gen.udg st ~n ~side ~radius:1.)
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let qtest name ?(count = 100) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let arb_gnp ?(max_n = 12) () = Generators.arb_gnp ~max_n ()
+let arb_udg = Generators.arb_udg
+let qtest name ?(count = 100) arb prop = Generators.qtest name ~count arb prop
 
 (* ------------------------------------------------------------------ *)
 (* Conflict relation                                                   *)
@@ -77,6 +63,26 @@ let prop_conflicting_matches_predicate =
           Arc.iter g (fun b -> if Conflict.conflict g a b then brute := b :: !brute);
           let brute = List.rev !brute in
           if Conflict.conflicting g a <> brute then ok := false);
+      !ok)
+
+(* Independent re-encoding of Definition 2: arcs conflict iff they share
+   an endpoint or the head of one is adjacent to the tail of the other.
+   Brute force over all O(m^2) arc pairs. *)
+let prop_conflict_matches_definition2 =
+  qtest "conflict = Definition 2 brute-force oracle" (arb_gnp ~max_n:12 ()) (fun g ->
+      let oracle a b =
+        a <> b
+        &&
+        let u = Arc.tail g a and v = Arc.head g a in
+        let w = Arc.tail g b and x = Arc.head g b in
+        u = w || u = x || v = w || v = x
+        || Graph.mem_edge g v w
+        || Graph.mem_edge g x u
+      in
+      let ok = ref true in
+      Arc.iter g (fun a ->
+          Arc.iter g (fun b ->
+              if Conflict.conflict g a b <> oracle a b then ok := false));
       !ok)
 
 let prop_conflict_degree_bound =
@@ -185,6 +191,47 @@ let prop_schedule_io_roundtrip =
   qtest "schedule io roundtrip" ~count:60 (arb_gnp ()) (fun g ->
       let s = Greedy.color g in
       Schedule.colors s = Schedule.colors (Schedule.of_string g (Schedule.to_string s)))
+
+(* Round-trip on arbitrary (even invalid, even partial) slot maps: every
+   arc must come back with exactly its slot, not merely the same palette. *)
+let prop_schedule_io_roundtrip_exact =
+  qtest "of_string (to_string s) = s arc-for-arc" ~count:60 (arb_gnp ()) (fun g ->
+      let st = rng () in
+      let s = Schedule.make g in
+      Arc.iter g (fun a ->
+          if Random.State.bool st then
+            Schedule.set s a (Random.State.int st (2 * Arc.count g + 1)));
+      let s' = Schedule.of_string g (Schedule.to_string s) in
+      let ok = ref true in
+      Arc.iter g (fun a -> if Schedule.get s a <> Schedule.get s' a then ok := false);
+      !ok)
+
+(* Normalize on a valid schedule with sparse slot ids: compacts to the
+   same slot count, stays valid, and running it again changes nothing. *)
+let prop_normalize_idempotent =
+  qtest "normalize idempotent on sparse valid schedules" ~count:60 (arb_gnp ())
+    (fun g ->
+      let st = rng () in
+      let s0 = Greedy.color g in
+      let k = Schedule.num_slots s0 in
+      let off = Array.make (max k 1) 0 in
+      let cur = ref 0 in
+      for i = 0 to k - 1 do
+        cur := !cur + 1 + Random.State.int st 3;
+        off.(i) <- !cur
+      done;
+      let s = Schedule.make g in
+      Arc.iter g (fun a ->
+          let c = Schedule.get s0 a in
+          if c >= 0 then Schedule.set s a off.(c));
+      let n1 = Schedule.normalize s in
+      let n2 = Schedule.normalize n1 in
+      Schedule.valid n1
+      && Schedule.num_slots n1 = k
+      &&
+      let ok = ref true in
+      Arc.iter g (fun a -> if Schedule.get n1 a <> Schedule.get n2 a then ok := false);
+      !ok)
 
 let test_printers_smoke () =
   let g = Gen.path 3 in
@@ -447,6 +494,7 @@ let () =
           Alcotest.test_case "conflict graph shape" `Quick test_conflict_graph_shape;
           prop_conflict_symmetric;
           prop_conflicting_matches_predicate;
+          prop_conflict_matches_definition2;
           prop_conflict_degree_bound;
         ] );
       ( "schedule",
@@ -462,6 +510,8 @@ let () =
           Alcotest.test_case "io partial" `Quick test_schedule_io_partial;
           Alcotest.test_case "io errors" `Quick test_schedule_io_errors;
           prop_schedule_io_roundtrip;
+          prop_schedule_io_roundtrip_exact;
+          prop_normalize_idempotent;
         ] );
       ( "bounds",
         [

@@ -6,26 +6,12 @@ open Fdlsp_color
 open Fdlsp_sim
 open Fdlsp_core
 
-let rng () = Random.State.make [| 0xA160; 3 |]
+let rng = Generators.rng [| 0xA160; 3 |]
 
-let arb_gnp ?(max_n = 16) () =
-  let gen st =
-    let n = 1 + Random.State.int st max_n in
-    let p = Random.State.float st 0.7 in
-    Gen.gnp st ~n ~p
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let arb_udg () =
-  let gen st =
-    let n = 5 + Random.State.int st 40 in
-    let side = 3. +. Random.State.float st 5. in
-    fst (Gen.udg st ~n ~side ~radius:1.)
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let qtest name ?(count = 60) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let arb_gnp ?(max_n = 16) () = Generators.arb_gnp ~max_n ~max_p:0.7 ()
+let arb_udg = Generators.arb_udg
+let qtest name ?(count = 60) arb prop = Generators.qtest name ~count arb prop
 
 let all_active g = Array.make (Graph.n g) true
 
@@ -227,6 +213,27 @@ let prop_dist_mis_local_min =
   qtest "DistMIS with deterministic MIS" ~count:40 (arb_gnp ()) (fun g ->
       let r = Dist_mis.run ~mis:Mis.Local_min ~variant:Dist_mis.Gbg g in
       Schedule.valid r.Dist_mis.schedule)
+
+(* Cross-engine determinism: the same deterministic protocol must yield
+   the same schedule whether its rounds run on the synchronous engine or
+   on the asynchronous engine behind the Lockstep synchronizer (unit
+   delays).  Local_min is used because Luby draws from a shared rng,
+   which the two engines would consume in different interleavings. *)
+let prop_dist_mis_cross_engine_deterministic =
+  qtest "DistMIS identical under Sync and Lockstep/Async engines" ~count:20
+    (arb_gnp ~max_n:12 ()) (fun g ->
+      let sync = Dist_mis.run ~mis:Mis.Local_min ~variant:Dist_mis.Gbg g in
+      let async =
+        Dist_mis.run ~engine:(Lockstep.runner ()) ~mis:Mis.Local_min
+          ~variant:Dist_mis.Gbg g
+      in
+      let same = ref true in
+      Arc.iter g (fun a ->
+          if
+            Schedule.get sync.Dist_mis.schedule a
+            <> Schedule.get async.Dist_mis.schedule a
+          then same := false);
+      !same)
 
 let prop_dist_mis_slots_in_bounds =
   qtest "DistMIS slots within [LB, UB]" ~count:40 (arb_gnp ()) (fun g ->
@@ -481,6 +488,7 @@ let () =
           prop_dist_mis_general_valid;
           prop_dist_mis_udg_valid;
           prop_dist_mis_local_min;
+          prop_dist_mis_cross_engine_deterministic;
           prop_dist_mis_slots_in_bounds;
           prop_dist_mis_outer_bound;
           prop_luby_round_bound;

@@ -5,17 +5,11 @@ open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_core
 
-let rng () = Random.State.make [| 0xC505; 2 |]
+let rng = Generators.rng [| 0xC505; 2 |]
 
-let qtest name ?(count = 40) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
-
-let arb_gnp ?(max_n = 9) () =
-  let gen st =
-    let n = 2 + Random.State.int st max_n in
-    Gen.gnp st ~n ~p:(Random.State.float st 0.8)
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let qtest name ?(count = 40) arb prop = Generators.qtest name ~count arb prop
+let arb_gnp ?(max_n = 9) () = Generators.arb_gnp ~min_n:2 ~max_n ~max_p:0.8 ()
 
 let relabel rng g =
   let n = Graph.n g in
@@ -88,10 +82,7 @@ let prop_exact_dominates_heuristics =
       && opt <= slots (Randomized.run ~rng:(rng ()) g).Randomized.schedule)
 
 let prop_trees_all_optimal =
-  let arb =
-    let gen st = Gen.random_tree st (2 + Random.State.int st 25) in
-    QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-  in
+  let arb = Generators.arb_tree ~max_n:25 () in
   qtest "on trees DFS = Tree_sched = 2 delta = LB" ~count:60 arb (fun g ->
       let target = 2 * Graph.max_degree g in
       Schedule.num_slots (Dfs_sched.run g).Dfs_sched.schedule = target

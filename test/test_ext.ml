@@ -5,34 +5,12 @@ open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_core
 
-let rng () = Random.State.make [| 0xE77; 5 |]
+let rng = Generators.rng [| 0xE77; 5 |]
 
-let arb_gnp ?(max_n = 16) () =
-  let gen st =
-    let n = 1 + Random.State.int st max_n in
-    let p = Random.State.float st 0.6 in
-    Gen.gnp st ~n ~p
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let arb_connected () =
-  let gen st =
-    let n = 3 + Random.State.int st 25 in
-    (* tree + extra random edges: connected by construction *)
-    let t = Gen.random_tree st n in
-    let extra = Random.State.int st (2 * n) in
-    let edges = ref (Array.to_list (Graph.edges t)) in
-    for _ = 1 to extra do
-      let u = Random.State.int st n and v = Random.State.int st n in
-      let e = (min u v, max u v) in
-      if u <> v && not (List.mem e !edges) then edges := e :: !edges
-    done;
-    Graph.create ~n !edges
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let qtest name ?(count = 50) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let arb_gnp ?(max_n = 16) () = Generators.arb_gnp ~max_n ~max_p:0.6 ()
+let arb_connected = Generators.arb_connected ~max_n:25
+let qtest name ?(count = 50) arb prop = Generators.qtest name ~count arb prop
 
 (* ------------------------------------------------------------------ *)
 (* Randomized                                                          *)

@@ -3,22 +3,11 @@
 
 open Fdlsp_graph
 
-let rng () = Random.State.make [| 0xF0D5; 42 |]
+let rng = Generators.rng [| 0xF0D5; 42 |]
 
-(* ------------------------------------------------------------------ *)
-(* Generators for qcheck properties                                    *)
-(* ------------------------------------------------------------------ *)
-
-let arb_gnp ?(max_n = 24) () =
-  let gen st =
-    let n = 1 + Random.State.int st max_n in
-    let p = Random.State.float st 1. in
-    Gen.gnp st ~n ~p
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let qtest name ?(count = 100) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let arb_gnp ?(max_n = 24) () = Generators.arb_gnp ~max_n ()
+let qtest name ?(count = 100) arb prop = Generators.qtest name ~count arb prop
 
 (* ------------------------------------------------------------------ *)
 (* Graph construction                                                  *)

@@ -4,16 +4,9 @@ open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_ilp
 
-let qtest name ?(count = 40) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
-
-let arb_gnp ?(max_n = 8) () =
-  let gen st =
-    let n = 1 + Random.State.int st max_n in
-    let p = Random.State.float st 1. in
-    Gen.gnp st ~n ~p
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let qtest name ?(count = 40) arb prop = Generators.qtest name ~count arb prop
+let arb_gnp ?(max_n = 8) () = Generators.arb_gnp ~max_n ()
 
 let check_float = Alcotest.(check (float 1e-6))
 

@@ -6,21 +6,12 @@ open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_core
 
-let rng () = Random.State.make [| 0x51E; 9 |]
+let rng = Generators.rng [| 0x51E; 9 |]
 
-let qtest name ?(count = 60) arb prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count arb prop)
-
-let arb_tree ?(max_n = 60) () =
-  let gen st = Gen.random_tree st (2 + Random.State.int st max_n) in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
-
-let arb_gnp ?(max_n = 14) () =
-  let gen st =
-    let n = 1 + Random.State.int st max_n in
-    Gen.gnp st ~n ~p:(Random.State.float st 0.7)
-  in
-  QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
+(* Graph arbitraries live in Generators (shared across the suite). *)
+let qtest name ?(count = 60) arb prop = Generators.qtest name ~count arb prop
+let arb_tree ?(max_n = 60) () = Generators.arb_tree ~max_n ()
+let arb_gnp ?(max_n = 14) () = Generators.arb_gnp ~max_n ~max_p:0.7 ()
 
 (* ------------------------------------------------------------------ *)
 (* Tree scheduler                                                      *)
