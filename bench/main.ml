@@ -21,6 +21,7 @@ let experiments =
     ("fig15", Experiments.fig15);
     ("faults", Experiments.faults);
     ("phases", Experiments.phases);
+    ("stabilize", Experiments.stabilize);
     ("ablation", Experiments.ablation);
     ("timing", fun (_ : Experiments.config) -> Timing.run ());
   ]

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Argument-hardening contract: every malformed or out-of-range numeric
+# argument, on any subcommand, must die with exit code 2 and exactly one
+# "fdlsp: usage error: ..." line on stderr — nothing else, no cmdliner
+# usage dump.  A well-formed invocation must still exit 0.
+set -u
+cli="$1"
+case "$cli" in
+*/*) ;;
+*) cli="./$cli" ;;
+esac
+fails=0
+
+expect_usage() {
+  desc="$1"
+  shift
+  err=$("$@" 2>&1 >/dev/null)
+  code=$?
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL [$desc]: exit code $code, wanted 2" >&2
+    fails=1
+  fi
+  lines=$(printf '%s' "$err" | grep -c '^' || true)
+  if [ "$lines" -ne 1 ]; then
+    echo "FAIL [$desc]: wanted exactly 1 stderr line, got $lines:" >&2
+    printf '%s\n' "$err" >&2
+    fails=1
+  fi
+  case "$err" in
+  "fdlsp: usage error: "*) ;;
+  *)
+    echo "FAIL [$desc]: message not uniform: $err" >&2
+    fails=1
+    ;;
+  esac
+}
+
+expect_usage "malformed seed" "$cli" schedule -g cycle:8 --seed=abc
+expect_usage "malformed spec number" "$cli" gen -g cycle:x
+expect_usage "malformed spec shape" "$cli" gen -g nope
+expect_usage "drop above 1" "$cli" faults -g cycle:8 --drop=1.5
+expect_usage "negative duplicate" "$cli" faults -g cycle:8 --duplicate=-0.1
+expect_usage "negative crashes" "$cli" faults -g cycle:8 --crashes=-1
+expect_usage "zero timeout" "$cli" faults -g cycle:8 --timeout=0
+expect_usage "negative blips" "$cli" stabilize -g cycle:8 --blips=-2
+expect_usage "zero blip horizon" "$cli" stabilize -g cycle:8 --blip-horizon=0
+expect_usage "zero rounds" "$cli" stabilize -g cycle:8 --rounds=0
+expect_usage "malformed rounds" "$cli" stabilize -g cycle:8 --rounds=ten
+expect_usage "trace malformed drop" "$cli" trace -g cycle:8 --drop=nope
+
+if ! "$cli" schedule -g cycle:8 -o /dev/null; then
+  echo "FAIL [good invocation]: non-zero exit" >&2
+  fails=1
+fi
+if ! "$cli" stabilize -g cycle:8 --seed 3 --blips 2 --blip-horizon 4 -o /dev/null; then
+  echo "FAIL [good stabilize]: non-zero exit" >&2
+  fails=1
+fi
+
+exit $fails

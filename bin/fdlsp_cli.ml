@@ -1,10 +1,13 @@
 (* fdlsp: command-line front end.
 
    Subcommands:
-     gen      - generate a workload graph and print/save it
-     schedule - run a scheduling algorithm and report the schedule
-     bounds   - print the paper's lower/upper bounds
-     dot      - graphviz export *)
+     gen       - generate a workload graph and print/save it
+     schedule  - run a scheduling algorithm and report the schedule
+     bounds    - print the paper's lower/upper bounds
+     dot       - graphviz export
+     faults    - run a scheduler over a lossy/crashing network
+     stabilize - corrupt a schedule in flight and reconverge
+     trace     - record / replay-check / summarize event traces *)
 
 open Cmdliner
 open Fdlsp_graph
@@ -13,9 +16,52 @@ open Fdlsp_core
 
 (* --- shared argument parsing --------------------------------------- *)
 
+(* Malformed or out-of-range numeric arguments die with a uniform
+   one-line usage error and exit code 2, across every subcommand —
+   scriptable, unlike cmdliner's default CLI-error path. *)
+let die_usage msg =
+  prerr_endline ("fdlsp: usage error: " ^ msg);
+  exit 2
+
+let checked_int ?min ?max what =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> die_usage (Printf.sprintf "%s expects an integer, got %S" what s)
+    | Some v ->
+        (match min with
+        | Some lo when v < lo ->
+            die_usage (Printf.sprintf "%s must be >= %d, got %d" what lo v)
+        | _ -> ());
+        (match max with
+        | Some hi when v > hi ->
+            die_usage (Printf.sprintf "%s must be <= %d, got %d" what hi v)
+        | _ -> ());
+        Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let checked_float ?min ?max what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when not (Float.is_nan v) ->
+        (match min with
+        | Some lo when v < lo ->
+            die_usage (Printf.sprintf "%s must be >= %g, got %g" what lo v)
+        | _ -> ());
+        (match max with
+        | Some hi when v > hi ->
+            die_usage (Printf.sprintf "%s must be <= %g, got %g" what hi v)
+        | _ -> ());
+        Ok v
+    | _ -> die_usage (Printf.sprintf "%s expects a number, got %S" what s)
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let prob what = checked_float ~min:0. ~max:1. what
+
 let seed_arg =
   let doc = "Random seed." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+  Arg.(value & opt (checked_int "--seed") 42 & info [ "seed" ] ~doc)
 
 let verbose_arg =
   let doc = "Log the algorithms' internal progress to stderr." in
@@ -51,12 +97,11 @@ type spec =
 let spec_conv =
   let parse s =
     let fail () =
-      Error
-        (`Msg
-           (Printf.sprintf
-              "cannot parse graph spec %S (try udg:n,side,radius | qudg:n,side,radius,inner,p | gnm:n,m | gnp:n,p | \
-               tree:n | complete:n | bipartite:a,b | cycle:n | path:n | grid:r,c)"
-              s))
+      die_usage
+        (Printf.sprintf
+           "cannot parse graph spec %S (try udg:n,side,radius | qudg:n,side,radius,inner,p | gnm:n,m | gnp:n,p | \
+            tree:n | complete:n | bipartite:a,b | cycle:n | path:n | grid:r,c)"
+           s)
     in
     match String.split_on_char ':' s with
     | [ kind; args ] -> (
@@ -233,10 +278,10 @@ let faults_cmd =
       & opt (Arg.enum [ ("dfs", F_dfs); ("distmis", F_distmis); ("distmis-general", F_distmis_general) ]) F_dfs
       & info [ "a"; "algo" ] ~doc)
   in
-  let rate name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc) in
+  let rate name doc = Arg.(value & opt (prob ("--" ^ name)) 0. & info [ name ] ~docv:"P" ~doc) in
   let drop =
     let doc = "Per-transmission drop probability." in
-    Arg.(value & opt float 0.1 & info [ "drop" ] ~docv:"P" ~doc)
+    Arg.(value & opt (prob "--drop") 0.1 & info [ "drop" ] ~docv:"P" ~doc)
   in
   let duplicate = rate "duplicate" "Per-transmission duplication probability." in
   let reorder = rate "reorder" "Probability a copy escapes FIFO ordering." in
@@ -247,11 +292,13 @@ let faults_cmd =
        schedule with local repair; each node recovers after the whole batch has \
        failed, measuring slot drift and repair locality."
     in
-    Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"K" ~doc)
+    Arg.(value & opt (checked_int ~min:0 "--crashes") 0 & info [ "crashes" ] ~docv:"K" ~doc)
   in
   let timeout =
     let doc = "Retransmission timeout of the reliable layer (time units/rounds)." in
-    Arg.(value & opt float Fdlsp_sim.Reliable.default.Fdlsp_sim.Reliable.timeout
+    Arg.(value
+         & opt (checked_float ~min:1e-6 "--timeout")
+             Fdlsp_sim.Reliable.default.Fdlsp_sim.Reliable.timeout
          & info [ "timeout" ] ~docv:"T" ~doc)
   in
   let json =
@@ -365,13 +412,70 @@ let faults_cmd =
       const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
       $ crashes $ timeout $ json $ out_arg $ verbose_arg)
 
+(* --- stabilize --------------------------------------------------------- *)
+
+let blips_arg =
+  let doc = "Number of state-corruption blips to scatter over the network." in
+  Arg.(value & opt (checked_int ~min:0 "--blips") 8 & info [ "blips" ] ~docv:"K" ~doc)
+
+let blip_horizon_arg =
+  let doc = "Blips strike at rounds 1..$(docv) (uniformly at random)." in
+  Arg.(value & opt (checked_int ~min:1 "--blip-horizon") 8 & info [ "blip-horizon" ] ~docv:"H" ~doc)
+
+let stabilize_cmd =
+  let rate name doc = Arg.(value & opt (prob ("--" ^ name)) 0. & info [ name ] ~docv:"P" ~doc) in
+  let drop = rate "drop" "Per-transmission drop probability (loss composed with corruption)." in
+  let duplicate = rate "duplicate" "Per-transmission duplication probability." in
+  let rounds =
+    let doc = "Heartbeat horizon; default: last blip time plus settle slack." in
+    Arg.(value & opt (some (checked_int ~min:1 "--rounds")) None & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let timeout =
+    let doc = "Retransmission timeout of the reliable layer (lossy runs only)." in
+    Arg.(value
+         & opt (checked_float ~min:1e-6 "--timeout")
+             Fdlsp_sim.Reliable.default.Fdlsp_sim.Reliable.timeout
+         & info [ "timeout" ] ~docv:"T" ~doc)
+  in
+  let json =
+    let doc = "Emit a JSON report instead of a key=value line." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run graph seed blips horizon drop duplicate rounds timeout json out verbose =
+    setup_logs verbose;
+    let g = or_die graph in
+    let open Fdlsp_sim in
+    let guard f = try f () with Invalid_argument m -> or_die (Error m) in
+    let faults =
+      guard (fun () ->
+          Fault.make ~seed
+            ~default_link:(Fault.lossy ~duplicate drop)
+            ~blips:(Fault.scatter_blips ~seed ~n:(Graph.n g) ~count:blips ~horizon ())
+            ())
+    in
+    let config = { Reliable.default with Reliable.timeout } in
+    let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+    let r = guard (fun () -> Stabilize.run ~faults ~reliable:config ?rounds g sched) in
+    if json then emit out (Stabilize.report_to_json r ^ "\n")
+    else emit out (Format.asprintf "%a\n" Stabilize.pp_report r);
+    if not r.Stabilize.converged then exit 1
+  in
+  Cmd.v
+    (Cmd.info "stabilize"
+       ~doc:
+         "Schedule a graph, corrupt node state in flight, and let the self-stabilizing \
+          maintenance protocol reconverge (exit 1 if it does not)")
+    Term.(
+      const run $ graph_source $ seed_arg $ blips_arg $ blip_horizon_arg $ drop $ duplicate
+      $ rounds $ timeout $ json $ out_arg $ verbose_arg)
+
 (* --- trace ------------------------------------------------------------ *)
 
-type trace_algo = T_dfs | T_distmis | T_distmis_general | T_dmgc
+type trace_algo = T_dfs | T_distmis | T_distmis_general | T_dmgc | T_stabilize
 
 let trace_cmd =
   let algo =
-    let doc = "Algorithm to trace: distmis | distmis-general | dfs | dmgc." in
+    let doc = "Algorithm to trace: distmis | distmis-general | dfs | dmgc | stabilize." in
     Arg.(
       value
       & opt
@@ -381,12 +485,13 @@ let trace_cmd =
                ("distmis-general", T_distmis_general);
                ("dfs", T_dfs);
                ("dmgc", T_dmgc);
+               ("stabilize", T_stabilize);
              ])
           T_distmis
       & info [ "a"; "algo" ] ~doc)
   in
   let rate name default doc =
-    Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
+    Arg.(value & opt (prob ("--" ^ name)) default & info [ name ] ~docv:"P" ~doc)
   in
   let drop = rate "drop" 0.1 "Per-transmission drop probability." in
   let duplicate = rate "duplicate" 0. "Per-transmission duplication probability." in
@@ -417,7 +522,8 @@ let trace_cmd =
   let meta_int meta key =
     match List.assoc_opt key meta with Some s -> int_of_string_opt s | None -> None
   in
-  let run graph algo seed drop duplicate reorder corrupt replay summary json out verbose =
+  let run graph algo seed drop duplicate reorder corrupt blips bhorizon replay summary json
+      out verbose =
     setup_logs verbose;
     let open Fdlsp_sim in
     match (replay, summary) with
@@ -447,32 +553,65 @@ let trace_cmd =
                      edges (same --generate/--input and --seed required)"
                     m (Graph.m g)))
         | _ -> ());
-        let plan =
-          match meta_int meta "fault_seed" with
-          | Some fseed ->
-              Some
-                (Fault.uniform ~seed:fseed
-                   ~duplicate:(meta_float meta "duplicate")
-                   ~reorder:(meta_float meta "reorder")
-                   ~corrupt:(meta_float meta "corrupt")
-                   (meta_float meta "drop"))
-          | None -> None
-        in
-        match
-          Trace.Replay.check ?plan ?stats:file.Trace.stats ~require_complete:true g
-            file.Trace.events
-        with
-        | Ok r ->
-            emit out
-              (Printf.sprintf
-                 "replay=ok events=%d colors=%d mis_joins=%d retransmit_events=%d \
-                  crash_events=%d slots=%d\n"
-                 r.Trace.Replay.events r.Trace.Replay.colors r.Trace.Replay.mis_joins
-                 r.Trace.Replay.retransmit_events r.Trace.Replay.crash_events
-                 (Schedule.num_slots r.Trace.Replay.schedule))
-        | Error m ->
-            emit out (Printf.sprintf "replay=FAILED %s\n" m);
-            exit 2)
+        match List.assoc_opt "algo" meta with
+        | Some "stabilize" -> (
+            (* a self-stabilization trace: regenerate the blip plan from
+               the recorded (seed, count, horizon) metadata and verify
+               locality, plan conformance, and reconvergence *)
+            let count = Option.value (meta_int meta "blips") ~default:0 in
+            let bseed = Option.value (meta_int meta "blip_seed") ~default:0 in
+            let bh =
+              match meta_int meta "blip_horizon" with Some h when h >= 1 -> h | _ -> 1
+            in
+            let plan =
+              if count > 0 && Graph.n g > 0 then
+                Some
+                  (Fault.make ~seed:bseed
+                     ~blips:
+                       (Fault.scatter_blips ~seed:bseed ~n:(Graph.n g) ~count ~horizon:bh ())
+                     ())
+              else None
+            in
+            match Trace.Replay.check_stabilize ?plan g file.Trace.events with
+            | Ok r ->
+                emit out
+                  (Printf.sprintf
+                     "replay=ok kind=stabilize events=%d corruptions=%d detects=%d \
+                      recolorings=%d recolored_arcs=%d rounds_to_stabilize=%d slots=%d\n"
+                     r.Trace.Replay.s_events r.Trace.Replay.s_corruptions
+                     r.Trace.Replay.s_detects r.Trace.Replay.s_recolorings
+                     r.Trace.Replay.s_recolored_arcs r.Trace.Replay.s_rounds_to_stabilize
+                     (Schedule.num_slots r.Trace.Replay.s_schedule))
+            | Error m ->
+                emit out (Printf.sprintf "replay=FAILED %s\n" m);
+                exit 2)
+        | _ -> (
+            let plan =
+              match meta_int meta "fault_seed" with
+              | Some fseed ->
+                  Some
+                    (Fault.uniform ~seed:fseed
+                       ~duplicate:(meta_float meta "duplicate")
+                       ~reorder:(meta_float meta "reorder")
+                       ~corrupt:(meta_float meta "corrupt")
+                       (meta_float meta "drop"))
+              | None -> None
+            in
+            match
+              Trace.Replay.check ?plan ?stats:file.Trace.stats ~require_complete:true g
+                file.Trace.events
+            with
+            | Ok r ->
+                emit out
+                  (Printf.sprintf
+                     "replay=ok events=%d colors=%d mis_joins=%d retransmit_events=%d \
+                      crash_events=%d slots=%d\n"
+                     r.Trace.Replay.events r.Trace.Replay.colors r.Trace.Replay.mis_joins
+                     r.Trace.Replay.retransmit_events r.Trace.Replay.crash_events
+                     (Schedule.num_slots r.Trace.Replay.schedule))
+            | Error m ->
+                emit out (Printf.sprintf "replay=FAILED %s\n" m);
+                exit 2))
     | None, None ->
         (* record *)
         let g = or_die graph in
@@ -490,6 +629,7 @@ let trace_cmd =
           | T_distmis -> "distmis"
           | T_distmis_general -> "distmis-general"
           | T_dmgc -> "dmgc"
+          | T_stabilize -> "stabilize"
         in
         let meta =
           [
@@ -497,14 +637,21 @@ let trace_cmd =
             ("n", string_of_int (Graph.n g));
             ("m", string_of_int (Graph.m g));
           ]
+          @ (if lossy then
+               [
+                 ("fault_seed", string_of_int seed);
+                 ("drop", Printf.sprintf "%g" drop);
+                 ("duplicate", Printf.sprintf "%g" duplicate);
+                 ("reorder", Printf.sprintf "%g" reorder);
+                 ("corrupt", Printf.sprintf "%g" corrupt);
+               ]
+             else [])
           @
-          if lossy then
+          if algo = T_stabilize then
             [
-              ("fault_seed", string_of_int seed);
-              ("drop", Printf.sprintf "%g" drop);
-              ("duplicate", Printf.sprintf "%g" duplicate);
-              ("reorder", Printf.sprintf "%g" reorder);
-              ("corrupt", Printf.sprintf "%g" corrupt);
+              ("blip_seed", string_of_int seed);
+              ("blips", string_of_int blips);
+              ("blip_horizon", string_of_int bhorizon);
             ]
           else []
         in
@@ -539,7 +686,18 @@ let trace_cmd =
                   (* D-MGC stats are a cost model with no engine events
                      behind them; omit the trailer so replay skips the
                      accounting check *)
-                  None)
+                  None
+              | T_stabilize ->
+                  let faults =
+                    Fault.make ~seed
+                      ~default_link:(Fault.lossy ~duplicate ~reorder ~corrupt drop)
+                      ~blips:
+                        (Fault.scatter_blips ~seed ~n:(Graph.n g) ~count:blips
+                           ~horizon:bhorizon ())
+                      ()
+                  in
+                  let r = Stabilize.run ~faults ~trace g (Dfs_sched.run g).Dfs_sched.schedule in
+                  Some r.Stabilize.stats)
         in
         Trace.close_writer ?stats writer
   in
@@ -550,7 +708,7 @@ let trace_cmd =
           recorded one")
     Term.(
       const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
-      $ replay $ summary $ json $ out_arg $ verbose_arg)
+      $ blips_arg $ blip_horizon_arg $ replay $ summary $ json $ out_arg $ verbose_arg)
 
 (* --- bounds ----------------------------------------------------------- *)
 
@@ -621,4 +779,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; schedule_cmd; validate_cmd; bounds_cmd; dot_cmd; faults_cmd; trace_cmd ]))
+          [
+            gen_cmd;
+            schedule_cmd;
+            validate_cmd;
+            bounds_cmd;
+            dot_cmd;
+            faults_cmd;
+            stabilize_cmd;
+            trace_cmd;
+          ]))

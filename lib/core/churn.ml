@@ -22,6 +22,9 @@ type report = {
   final_slots : int;
   recompute_slots : int;
   total_recolored : int;
+  plan_seed : int;
+  plan_crashes : int;
+  plan_blips : int;
   events : event list;
 }
 
@@ -94,14 +97,18 @@ let run sched plan =
     final_slots = Repair.num_slots !state;
     recompute_slots = Repair.recompute !state;
     total_recolored = List.fold_left (fun acc e -> acc + e.recolored) 0 events;
+    plan_seed = Fault.seed plan;
+    plan_crashes = List.length (Fault.crashes plan);
+    plan_blips = List.length (Fault.blips plan);
     events;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>initial_slots=%d final_slots=%d recompute_slots=%d total_recolored=%d \
-     events=%d"
-    r.initial_slots r.final_slots r.recompute_slots r.total_recolored
+     plan_seed=%d plan_crashes=%d events=%d"
+    r.initial_slots r.final_slots r.recompute_slots r.total_recolored r.plan_seed
+    r.plan_crashes
     (List.length r.events);
   List.iter
     (fun e ->
@@ -118,8 +125,10 @@ let report_to_json r =
   Buffer.add_string b
     (Printf.sprintf
        "{\"initial_slots\":%d,\"final_slots\":%d,\"recompute_slots\":%d,\
-        \"total_recolored\":%d,\"events\":["
-       r.initial_slots r.final_slots r.recompute_slots r.total_recolored);
+        \"total_recolored\":%d,\"plan\":{\"seed\":%d,\"crashes\":%d,\"blips\":%d},\
+        \"events\":["
+       r.initial_slots r.final_slots r.recompute_slots r.total_recolored r.plan_seed
+       r.plan_crashes r.plan_blips);
   List.iteri
     (fun i e ->
       if i > 0 then Buffer.add_char b ',';

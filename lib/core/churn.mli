@@ -30,6 +30,9 @@ type report = {
       (** slots of a from-scratch DFS schedule on the final topology —
           the yardstick for drift *)
   total_recolored : int;
+  plan_seed : int;  (** fault-plan metadata, embedded for reproducibility *)
+  plan_crashes : int;
+  plan_blips : int;
   events : event list;  (** in replay order *)
 }
 
@@ -43,4 +46,6 @@ val run : Schedule.t -> Fdlsp_sim.Fault.plan -> report
 val pp_report : Format.formatter -> report -> unit
 
 val report_to_json : report -> string
-(** Flat JSON object (summary fields plus an [events] array). *)
+(** Flat JSON object: summary fields, the fault-plan metadata as
+    [{"plan":{"seed":..,"crashes":..,"blips":..}}], and an [events]
+    array — enough to regenerate the plan and replay the run. *)

@@ -227,7 +227,7 @@ type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 exception Too_many_events of int
 
 let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults ?corrupt
-    ?reliable ?(trace = Trace.null) g ~init ~starts ~handler =
+    ?blip ?reliable ?(trace = Trace.null) g ~init ~starts ~handler =
   (match delay with
   | Uniform (_, lo, hi) when lo <= 0. || lo > hi -> invalid_arg bad_delay
   | _ -> ());
@@ -285,7 +285,30 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     }
   in
   let states = Array.init (Graph.n g) init in
+  (* state blips from the plan, applied once the event clock crosses
+     them (a blip after the last event never fires) *)
+  let pending_blips =
+    ref (match faults with Some p -> Fault.blips p | None -> [])
+  in
+  let n = Graph.n g in
+  let apply_blips upto =
+    let rec loop () =
+      match !pending_blips with
+      | b :: rest when b.Fault.b_at <= upto ->
+          pending_blips := rest;
+          if b.Fault.b_node < n then begin
+            (match session with Some s -> Fault.count_blip s | None -> ());
+            (match blip with
+            | Some f -> states.(b.Fault.b_node) <- f b states.(b.Fault.b_node)
+            | None -> ())
+          end;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
   flush_boundaries engine 0.;
+  apply_blips 0.;
   List.iter
     (fun (v, action) ->
       if not (crashed_now engine v) then
@@ -307,6 +330,7 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     let time, _, ev = Heap.pop engine.heap in
     engine.clock <- time;
     flush_boundaries engine time;
+    apply_blips time;
     match ev with
     | Deliver { src; dst; payload } ->
         if crashed_now engine dst then drop_crashed ~src ~dst
@@ -366,8 +390,10 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
                   in
                   schedule engine (time +. interval) (Rto { src; dst; seq; interval })))
   done;
-  let dropped, duplicated =
-    match session with None -> (0, 0) | Some s -> (Fault.dropped s, Fault.duplicated s)
+  let dropped, duplicated, corruptions =
+    match session with
+    | None -> (0, 0, 0)
+    | Some s -> (Fault.dropped s, Fault.duplicated s, Fault.corruptions s)
   in
   let finish =
     match (session, reliable) with
@@ -378,4 +404,4 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     Stats.make
       ~rounds:(int_of_float (ceil finish))
       ~messages:engine.sent ~volume:engine.volume ~dropped ~duplicated
-      ~retransmits:engine.retransmits () )
+      ~retransmits:engine.retransmits ~corruptions () )

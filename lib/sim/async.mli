@@ -38,6 +38,7 @@ val run :
   ?weight:('msg -> int) ->
   ?faults:Fault.plan ->
   ?corrupt:('msg -> 'msg) ->
+  ?blip:(Fault.blip -> 'state -> 'state) ->
   ?reliable:Reliable.config ->
   ?trace:Trace.sink ->
   Graph.t ->
@@ -60,7 +61,11 @@ val run :
     through [corrupt] (identity when omitted), and messages to a
     crashed node are dropped; a crashed node handles nothing until it
     recovers, and its spontaneous start is skipped if it is down at
-    time 0.
+    time 0.  [blip] applies the plan's state blips: each blip whose time
+    the event clock has crossed rewrites the victim's stored state
+    before the next event is handled, in [(time, node)] order; applied
+    blips count in [Stats.corruptions] even without a hook, and a blip
+    later than the last event never fires.
 
     [reliable] runs a per-channel ack/retransmit (ARQ) layer with
     exponential backoff underneath [send]/[handler]: sequence numbers,

@@ -18,14 +18,19 @@ let lossy ?(duplicate = 0.) ?(reorder = 0.) ?(corrupt = 0.) drop =
 
 type crash = { node : int; at : float; until : float option }
 
+type blip_kind = Flip_slot | Scramble_view
+
+type blip = { b_node : int; b_at : float; b_kind : blip_kind }
+
 type plan = {
   seed : int;
   default_link : link;
   links : ((int * int) * link) list;
   crashes : crash list;
+  blips : blip list;
 }
 
-let none = { seed = 0; default_link = perfect; links = []; crashes = [] }
+let none = { seed = 0; default_link = perfect; links = []; crashes = []; blips = [] }
 
 let check_crash c =
   if c.node < 0 then invalid_arg "Fault: crash of a negative node id";
@@ -34,20 +39,44 @@ let check_crash c =
   | _ -> ());
   c
 
-let make ?(seed = 0) ?(default_link = perfect) ?(links = []) ?(crashes = []) () =
+let check_blip b =
+  if b.b_node < 0 then invalid_arg "Fault: blip of a negative node id";
+  if b.b_at < 0. then invalid_arg "Fault: blip before time 0";
+  b
+
+let make ?(seed = 0) ?(default_link = perfect) ?(links = []) ?(crashes = []) ?(blips = []) ()
+    =
   ignore (check_link default_link);
   List.iter (fun (_, l) -> ignore (check_link l)) links;
   let crashes =
     List.sort (fun a b -> compare (a.at, a.node) (b.at, b.node)) (List.map check_crash crashes)
   in
-  { seed; default_link; links; crashes }
+  let blips =
+    List.sort
+      (fun a b -> compare (a.b_at, a.b_node) (b.b_at, b.b_node))
+      (List.map check_blip blips)
+  in
+  { seed; default_link; links; crashes; blips }
 
 let uniform ?(seed = 0) ?duplicate ?reorder ?corrupt drop =
   make ~seed ~default_link:(lossy ?duplicate ?reorder ?corrupt drop) ()
 
-let is_none p = p.default_link = perfect && p.links = [] && p.crashes = []
+let scatter_blips ?(seed = 0) ~n ~count ~horizon () =
+  if n <= 0 then invalid_arg "Fault.scatter_blips: empty network";
+  if count < 0 then invalid_arg "Fault.scatter_blips: negative blip count";
+  if horizon < 1 then invalid_arg "Fault.scatter_blips: horizon must be >= 1";
+  let rng = Random.State.make [| 0xB11b5; seed |] in
+  List.init count (fun _ ->
+      let b_node = Random.State.int rng n in
+      let b_at = float_of_int (1 + Random.State.int rng horizon) in
+      let b_kind = if Random.State.bool rng then Flip_slot else Scramble_view in
+      { b_node; b_at; b_kind })
+
+let is_none p = p.default_link = perfect && p.links = [] && p.crashes = [] && p.blips = []
+let lossless p = p.default_link = perfect && p.links = [] && p.crashes = []
 let seed p = p.seed
 let crashes p = p.crashes
+let blips p = p.blips
 
 (* --- sessions ------------------------------------------------------- *)
 
@@ -56,10 +85,17 @@ type session = {
   rng : Random.State.t;
   mutable n_dropped : int;
   mutable n_duplicated : int;
+  mutable n_corrupted : int;
 }
 
 let start plan =
-  { plan; rng = Random.State.make [| 0x5EED; plan.seed |]; n_dropped = 0; n_duplicated = 0 }
+  {
+    plan;
+    rng = Random.State.make [| 0x5EED; plan.seed |];
+    n_dropped = 0;
+    n_duplicated = 0;
+    n_corrupted = 0;
+  }
 
 type verdict = { copies : int; reordered : bool; corrupted : bool }
 
@@ -92,5 +128,7 @@ let dead_forever s v t =
   List.exists (fun c -> c.node = v && c.at <= t && c.until = None) s.plan.crashes
 
 let count_drop s = s.n_dropped <- s.n_dropped + 1
+let count_blip s = s.n_corrupted <- s.n_corrupted + 1
 let dropped s = s.n_dropped
 let duplicated s = s.n_duplicated
+let corruptions s = s.n_corrupted

@@ -19,7 +19,15 @@
     - {b crash}: while a node is inside one of its crash windows it
       neither steps nor handles messages, and every message addressed to
       it is dropped.  Recovery resumes the node with its pre-crash
-      state.  *)
+      state.
+    - {b blip}: a transient {e state} corruption.  At a plan time the
+      victim node's local state is rewritten in place — an arc color is
+      flipped or its 2-hop neighbour view is scrambled — and the node
+      keeps running, unaware.  Engines thread blips through an opaque
+      [?blip] hook supplied by the protocol (the engine does not know
+      the state layout), exactly like crash windows are threaded through
+      the clock.  A blip later than the simulation's last activity never
+      fires.  *)
 
 type link = {
   drop : float;  (** probability a transmission is lost *)
@@ -41,6 +49,16 @@ type crash = {
   until : float option;  (** recovery time; [None] = never recovers *)
 }
 
+type blip_kind =
+  | Flip_slot  (** overwrite the slot of one of the victim's own arcs *)
+  | Scramble_view  (** scramble the victim's cached view of other nodes' colors *)
+
+type blip = {
+  b_node : int;  (** victim node *)
+  b_at : float;  (** corruption time (a round number for the synchronous engine) *)
+  b_kind : blip_kind;
+}
+
 type plan
 
 val none : plan
@@ -51,6 +69,7 @@ val make :
   ?default_link:link ->
   ?links:((int * int) * link) list ->
   ?crashes:crash list ->
+  ?blips:blip list ->
   unit ->
   plan
 (** [links] overrides the default per directed channel [(src, dst)].
@@ -60,10 +79,28 @@ val uniform :
   ?seed:int -> ?duplicate:float -> ?reorder:float -> ?corrupt:float -> float -> plan
 (** [uniform drop]: every channel gets the same {!lossy} link. *)
 
+val scatter_blips : ?seed:int -> n:int -> count:int -> horizon:int -> unit -> blip list
+(** [scatter_blips ~seed ~n ~count ~horizon ()] draws [count] blips over
+    uniformly random victims in [0, n), times in [1, horizon] and kinds,
+    from a PRNG derived from [seed] alone — so a plan is reproducible
+    from [(seed, n, count, horizon)] metadata (the trace header and the
+    JSON reports embed exactly that).  Raises [Invalid_argument] on
+    [n <= 0], negative [count] or [horizon < 1]. *)
+
 val is_none : plan -> bool
+(** No faults of any kind (channel, crash, or blip). *)
+
+val lossless : plan -> bool
+(** The channel and clock are clean — no link faults and no crashes —
+    though the plan may still carry blips.  Protocols use this to pick
+    the plain synchronous engine over the reliable layer. *)
+
 val seed : plan -> int
 val crashes : plan -> crash list
 (** Crash events sorted by time. *)
+
+val blips : plan -> blip list
+(** Blip events sorted by [(b_at, b_node)]. *)
 
 (** {2 Runtime sessions (consumed by the engines)} *)
 
@@ -93,5 +130,10 @@ val count_drop : session -> unit
 (** Record an engine-observed loss that bypassed {!transmit} (e.g. a
     delivery to a crashed node). *)
 
+val count_blip : session -> unit
+(** Record one applied state corruption (engines call this when a blip
+    fires, whether or not the protocol installed a [?blip] hook). *)
+
 val dropped : session -> int
 val duplicated : session -> int
+val corruptions : session -> int

@@ -14,7 +14,7 @@ type ('state, 'msg) lnode = {
   peer_halt : (int, int) Hashtbl.t;  (* nbr -> its halting round *)
 }
 
-let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit)
+let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit) ?(blips = []) ?blip
     ?(trace = Trace.null) g ~init ~step =
   let n = Graph.n g in
   let nodes =
@@ -121,17 +121,31 @@ let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit)
     (* one frame per channel per logical round, plus slack *)
     Option.map (fun r -> (r + 1) * ((2 * Graph.m g) + n + 1)) max_rounds
   in
+  (* Blips ride the asynchronous engine's own clock: the underlying
+     engine's states are unit, so the hook reaches back into the
+     synchronizer's node table by side effect.  The plan carries only
+     blips, so the channel stays perfect and execution is unchanged. *)
+  let faults = match blips with [] -> None | bs -> Some (Fault.make ~blips:bs ()) in
+  let ablip =
+    match blip with
+    | None -> None
+    | Some f ->
+        Some
+          (fun b () ->
+            let nd = nodes.(b.Fault.b_node) in
+            nd.ustate <- f b nd.ustate)
+  in
   let _, stats =
-    Async.run ?max_events ~delay ~weight:frame_weight ~trace g
+    Async.run ?max_events ~delay ~weight:frame_weight ?faults ?blip:ablip ~trace g
       ~init:(fun _ -> ())
       ~starts ~handler
   in
   (Array.map (fun nd -> nd.ustate) nodes, stats)
 
-let runner ?delay ?(trace = Trace.null) () =
+let runner ?delay ?(trace = Trace.null) ?(blips = []) () =
   {
     Reliable.run =
-      (fun ?max_rounds ?weight g ~init ~step ->
-        run_async ?max_rounds ?weight ?delay ~trace g ~init ~step);
+      (fun ?max_rounds ?weight ?blip g ~init ~step ->
+        run_async ?max_rounds ?weight ?delay ~blips ?blip ~trace g ~init ~step);
     faulty = false;
   }

@@ -16,6 +16,8 @@ val run_async :
   ?max_rounds:int ->
   ?weight:('msg -> int) ->
   ?delay:Async.delay ->
+  ?blips:Fault.blip list ->
+  ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
@@ -25,8 +27,20 @@ val run_async :
     underlying asynchronous engine and count synchronizer frames, not
     user messages; [rounds] is the ceiling of the last delivery time.
     [max_rounds] bounds logical rounds (translated to an event budget);
-    [delay] defaults to {!Async.Unit}. *)
+    [delay] defaults to {!Async.Unit}.
 
-val runner : ?delay:Async.delay -> ?trace:Trace.sink -> unit -> Reliable.sync_runner
+    [blips] + [blip] thread state corruptions through the asynchronous
+    clock: each blip fires once the event clock crosses [b_at] and
+    rewrites the victim's synchronizer-held protocol state (whatever
+    logical round it has reached), counted in [Stats.corruptions]. *)
+
+val runner :
+  ?delay:Async.delay ->
+  ?trace:Trace.sink ->
+  ?blips:Fault.blip list ->
+  unit ->
+  Reliable.sync_runner
 (** The adapter as a first-class engine, pluggable anywhere a
-    {!Reliable.sync_runner} is accepted (e.g. [Dist_mis.run ?engine]). *)
+    {!Reliable.sync_runner} is accepted (e.g. [Dist_mis.run ?engine]).
+    [blips] fixes the corruption plan at engine-construction time; the
+    per-run [?blip] hook supplies the state rewrite. *)

@@ -40,7 +40,7 @@ type ('state, 'msg) rnode = {
 }
 
 let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config = default)
-    ?(trace = Trace.null) g ~init ~step =
+    ?blip ?(trace = Trace.null) g ~init ~step =
   check_config config;
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
@@ -82,6 +82,28 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
           got = Hashtbl.create 8;
           peer_halt = Hashtbl.create 4;
         })
+  in
+  (* state blips from the plan, applied at physical-round starts (blip
+     times are physical here; the corrupted state is whatever logical
+     round the victim has reached) *)
+  let pending_blips = ref (Fault.blips faults) in
+  let apply_blips now =
+    let rec loop () =
+      match !pending_blips with
+      | b :: rest when b.Fault.b_at <= now ->
+          pending_blips := rest;
+          if b.Fault.b_node < n then begin
+            Fault.count_blip session;
+            match blip with
+            | Some f ->
+                let nd = nodes.(b.Fault.b_node) in
+                nd.ustate <- f b nd.ustate
+            | None -> ()
+          end;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
   in
   (* physical delivery buffers: this round / next round / reordered (+2) *)
   let cur = ref (Array.make n []) in
@@ -265,6 +287,7 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
       Trace.emit trace ~t:(float_of_int !p) (Trace.Round_start !p);
       emit_boundaries (float_of_int !p)
     end;
+    apply_blips (float_of_int !p);
     for v = 0 to n - 1 do
       process v
     done;
@@ -293,13 +316,14 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
   ( Array.map (fun nd -> nd.ustate) nodes,
     Stats.make ~rounds:!p ~messages:!messages ~volume:!volume
       ~dropped:(Fault.dropped session) ~duplicated:(Fault.duplicated session)
-      ~retransmits:!retransmits () )
+      ~retransmits:!retransmits ~corruptions:(Fault.corruptions session) () )
 
 type sync_runner = {
   run :
     'state 'msg.
     ?max_rounds:int ->
     ?weight:('msg -> int) ->
+    ?blip:(Fault.blip -> 'state -> 'state) ->
     Graph.t ->
     init:(int -> 'state * bool) ->
     step:('state, 'msg) Sync.step ->
@@ -310,7 +334,8 @@ type sync_runner = {
 let raw_runner =
   {
     run =
-      (fun ?max_rounds ?weight g ~init ~step -> Sync.run ?max_rounds ?weight g ~init ~step);
+      (fun ?max_rounds ?weight ?blip:_ g ~init ~step ->
+        Sync.run ?max_rounds ?weight g ~init ~step);
     faulty = false;
   }
 
@@ -320,14 +345,23 @@ let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) () =
     else
       {
         run =
-          (fun ?max_rounds ?weight g ~init ~step ->
+          (fun ?max_rounds ?weight ?blip:_ g ~init ~step ->
             Sync.run ?max_rounds ?weight ~trace g ~init ~step);
         faulty = false;
       }
+  else if Fault.lossless faults then
+    (* blips only: the channel is clean, so the plain synchronous engine
+       applies them without the ARQ layer's physical-round overhead *)
+    {
+      run =
+        (fun ?max_rounds ?weight ?blip g ~init ~step ->
+          Sync.run ?max_rounds ?weight ~faults ?blip ~trace g ~init ~step);
+      faulty = false;
+    }
   else
     {
       run =
-        (fun ?max_rounds ?weight g ~init ~step ->
-          run_sync ?max_rounds ?weight ~faults ?config ~trace g ~init ~step);
+        (fun ?max_rounds ?weight ?blip g ~init ~step ->
+          run_sync ?max_rounds ?weight ~faults ?config ?blip ~trace g ~init ~step);
       faulty = true;
     }

@@ -47,6 +47,7 @@ val run_sync :
   ?weight:('msg -> int) ->
   ?faults:Fault.plan ->
   ?config:config ->
+  ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
@@ -65,18 +66,26 @@ val run_sync :
     [trace] records {e physical} events: every frame (data, ack,
     retransmission) is a [Send], every consumed frame a [Recv], and each
     retransmission additionally emits [Retransmit] — so traced
-    retransmit events reconcile exactly with the stats counter. *)
+    retransmit events reconcile exactly with the stats counter.
+
+    [blip] applies the plan's state blips at {e physical}-round starts
+    (blip times are physical rounds here); the corrupted state is
+    whatever logical round the victim has reached, which is exactly the
+    arbitrary-interleaving semantics self-stabilizing protocols must
+    survive. *)
 
 type sync_runner = {
   run :
     'state 'msg.
     ?max_rounds:int ->
     ?weight:('msg -> int) ->
+    ?blip:(Fault.blip -> 'state -> 'state) ->
     Graph.t ->
     init:(int -> 'state * bool) ->
     step:('state, 'msg) Sync.step ->
     'state array * Stats.t;
-  faulty : bool;  (** false iff this is the raw fault-free engine *)
+  faulty : bool;  (** false iff this engine adds physical channel
+                      overhead (ARQ frames); blip-only plans stay raw *)
 }
 (** A first-class synchronous engine, so multi-phase algorithms
     (DistMIS and its MIS subroutines) can be parameterized over the
@@ -88,4 +97,6 @@ val raw_runner : sync_runner
 val runner :
   ?faults:Fault.plan -> ?config:config -> ?trace:Trace.sink -> unit -> sync_runner
 (** The reliable engine over [faults]; with an empty plan this is
-    {!raw_runner} (or a traced {!Sync.run} when [trace] is enabled). *)
+    {!raw_runner} (or a traced {!Sync.run} when [trace] is enabled), and
+    with a {!Fault.lossless} plan (blips but a clean channel) it is the
+    plain synchronous engine threading the blips. *)

@@ -5,14 +5,24 @@ type t = {
   dropped : int;
   duplicated : int;
   retransmits : int;
+  corruptions : int;
 }
 
 let zero =
-  { rounds = 0; messages = 0; volume = 0; dropped = 0; duplicated = 0; retransmits = 0 }
+  {
+    rounds = 0;
+    messages = 0;
+    volume = 0;
+    dropped = 0;
+    duplicated = 0;
+    retransmits = 0;
+    corruptions = 0;
+  }
 
-let make ?volume ?(dropped = 0) ?(duplicated = 0) ?(retransmits = 0) ~rounds ~messages () =
+let make ?volume ?(dropped = 0) ?(duplicated = 0) ?(retransmits = 0) ?(corruptions = 0)
+    ~rounds ~messages () =
   let volume = match volume with Some v -> v | None -> messages in
-  { rounds; messages; volume; dropped; duplicated; retransmits }
+  { rounds; messages; volume; dropped; duplicated; retransmits; corruptions }
 
 let add a b =
   {
@@ -22,6 +32,7 @@ let add a b =
     dropped = a.dropped + b.dropped;
     duplicated = a.duplicated + b.duplicated;
     retransmits = a.retransmits + b.retransmits;
+    corruptions = a.corruptions + b.corruptions;
   }
 
 let scale_rounds k s =
@@ -32,21 +43,23 @@ let scale_rounds k s =
     dropped = k * s.dropped;
     duplicated = k * s.duplicated;
     retransmits = k * s.retransmits;
+    corruptions = k * s.corruptions;
   }
 
 let pp ppf s =
   Format.fprintf ppf "%d rounds, %d messages, %d payload entries" s.rounds s.messages
     s.volume;
-  if s.dropped > 0 || s.duplicated > 0 || s.retransmits > 0 then
-    Format.fprintf ppf " (%d dropped, %d duplicated, %d retransmits)" s.dropped
-      s.duplicated s.retransmits
+  if s.dropped > 0 || s.duplicated > 0 || s.retransmits > 0 || s.corruptions > 0 then
+    Format.fprintf ppf " (%d dropped, %d duplicated, %d retransmits, %d corruptions)"
+      s.dropped s.duplicated s.retransmits s.corruptions
 
 let pp_kv ppf s =
   Format.fprintf ppf
-    "rounds=%d messages=%d volume=%d dropped=%d duplicated=%d retransmits=%d" s.rounds
-    s.messages s.volume s.dropped s.duplicated s.retransmits
+    "rounds=%d messages=%d volume=%d dropped=%d duplicated=%d retransmits=%d \
+     corruptions=%d"
+    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits s.corruptions
 
 let to_json s =
   Printf.sprintf
-    {|{"rounds":%d,"messages":%d,"volume":%d,"dropped":%d,"duplicated":%d,"retransmits":%d}|}
-    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits
+    {|{"rounds":%d,"messages":%d,"volume":%d,"dropped":%d,"duplicated":%d,"retransmits":%d,"corruptions":%d}|}
+    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits s.corruptions

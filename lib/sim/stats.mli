@@ -13,6 +13,7 @@ type t = {
                       to a crashed node *)
   duplicated : int;  (** extra copies injected by the faulty channel *)
   retransmits : int;  (** retransmissions issued by the reliable layer *)
+  corruptions : int;  (** state blips applied by the fault plan *)
 }
 
 val zero : t
@@ -22,6 +23,7 @@ val make :
   ?dropped:int ->
   ?duplicated:int ->
   ?retransmits:int ->
+  ?corruptions:int ->
   rounds:int ->
   messages:int ->
   unit ->

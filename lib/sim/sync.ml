@@ -7,8 +7,8 @@ type ('state, 'msg) step =
 
 exception Did_not_terminate of int
 
-let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?(trace = Trace.null) g ~init
-    ~step =
+let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trace.null) g
+    ~init ~step =
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
   let session =
@@ -49,6 +49,27 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?(trace = Trace.null
   in
   let states = Array.init n (fun v -> fst (init v)) in
   let live = Array.init n (fun v -> snd (init v)) in
+  (* state blips from the plan, applied in (time, node) order once the
+     round clock crosses them; the hook rewrites the victim's state *)
+  let pending_blips =
+    ref (match faults with Some p -> Fault.blips p | None -> [])
+  in
+  let apply_blips now =
+    let rec loop () =
+      match !pending_blips with
+      | b :: rest when b.Fault.b_at <= now ->
+          pending_blips := rest;
+          if b.Fault.b_node < n then begin
+            (match session with Some s -> Fault.count_blip s | None -> ());
+            (match blip with
+            | Some f -> states.(b.Fault.b_node) <- f b states.(b.Fault.b_node)
+            | None -> ())
+          end;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
   let inboxes : (int * 'msg) list array ref = ref (Array.make n []) in
   let next_inboxes : (int * 'msg) list array ref = ref (Array.make n []) in
   (* reordered copies skip one round of the FIFO discipline *)
@@ -97,6 +118,7 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?(trace = Trace.null
       Trace.emit trace ~t:now (Trace.Round_start !rounds);
       emit_boundaries now
     end;
+    apply_blips now;
     for v = 0 to n - 1 do
       if live.(v) then begin
         match session with
@@ -143,8 +165,11 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?(trace = Trace.null
     Array.fill consumed 0 n [];
     late_inboxes := consumed
   done;
-  let dropped, duplicated =
-    match session with None -> (0, 0) | Some s -> (Fault.dropped s, Fault.duplicated s)
+  let dropped, duplicated, corruptions =
+    match session with
+    | None -> (0, 0, 0)
+    | Some s -> (Fault.dropped s, Fault.duplicated s, Fault.corruptions s)
   in
   ( states,
-    Stats.make ~rounds:!rounds ~messages:!messages ~volume:!volume ~dropped ~duplicated () )
+    Stats.make ~rounds:!rounds ~messages:!messages ~volume:!volume ~dropped ~duplicated
+      ~corruptions () )

@@ -25,6 +25,7 @@ val run :
   ?weight:('msg -> int) ->
   ?faults:Fault.plan ->
   ?corrupt:('msg -> 'msg) ->
+  ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
@@ -46,6 +47,12 @@ val run :
     receives — messages addressed to it are counted as dropped; on
     recovery it resumes with its pre-crash state.  [corrupt] transforms
     payloads the fault plan marks as corrupted (identity when omitted).
+    [blip] applies the plan's state blips: each blip whose time the
+    round clock has crossed rewrites the victim's stored state at the
+    start of the round, in [(time, node)] order, whether or not the node
+    is live or inside a crash window (memory corrupts either way).
+    Applied blips are counted in [Stats.corruptions] even when no hook
+    is installed; blips naming nodes outside the graph are ignored.
     Protocols are {e not} expected to survive this raw engine — wrap
     them with {!Reliable.run_sync} for exactly-once FIFO delivery.
 

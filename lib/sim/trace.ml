@@ -13,6 +13,9 @@ type event =
   | Phase of { label : string; scale : int }
   | Mis_join of int
   | Color of { node : int; arc : Arc.id; slot : int }
+  | Corrupt_state of { node : int; arc : int; slot : int }
+  | Detect of { node : int; arc : Arc.id }
+  | Recolor of { node : int; arc : Arc.id; slot : int }
 
 type timed = { t : float; ev : event }
 
@@ -85,6 +88,14 @@ let event_to_json { t; ev } =
   | Color { node; arc; slot } ->
       Printf.sprintf {|{"ev":"color","t":%s,"node":%d,"arc":%d,"slot":%d}|} time node arc
         slot
+  | Corrupt_state { node; arc; slot } ->
+      Printf.sprintf {|{"ev":"corrupt_state","t":%s,"node":%d,"arc":%d,"slot":%d}|} time
+        node arc slot
+  | Detect { node; arc } ->
+      Printf.sprintf {|{"ev":"detect","t":%s,"node":%d,"arc":%d}|} time node arc
+  | Recolor { node; arc; slot } ->
+      Printf.sprintf {|{"ev":"recolor","t":%s,"node":%d,"arc":%d,"slot":%d}|} time node
+        arc slot
 
 let emit sink ~t ev =
   match sink with
@@ -317,6 +328,13 @@ let event_of_json line =
     | "mis_join" -> Mis_join (json_int "node" j)
     | "color" ->
         Color { node = json_int "node" j; arc = json_int "arc" j; slot = json_int "slot" j }
+    | "corrupt_state" ->
+        Corrupt_state
+          { node = json_int "node" j; arc = json_int "arc" j; slot = json_int "slot" j }
+    | "detect" -> Detect { node = json_int "node" j; arc = json_int "arc" j }
+    | "recolor" ->
+        Recolor
+          { node = json_int "node" j; arc = json_int "arc" j; slot = json_int "slot" j }
     | kind -> failwith (Printf.sprintf "Trace: unknown event kind %S" kind)
   in
   { t; ev }
@@ -361,9 +379,18 @@ type file = {
 }
 
 let stats_of_json j =
+  (* [corruptions] postdates version-1 traces: default 0 so older trace
+     files still load *)
+  let corruptions =
+    match Json.member "corruptions" j with
+    | Some (Json.Num f) when Float.is_integer f -> int_of_float f
+    | Some _ -> failwith "Trace: non-integer field \"corruptions\""
+    | None -> 0
+  in
   Stats.make ~rounds:(json_int "rounds" j) ~messages:(json_int "messages" j)
     ~volume:(json_int "volume" j) ~dropped:(json_int "dropped" j)
-    ~duplicated:(json_int "duplicated" j) ~retransmits:(json_int "retransmits" j) ()
+    ~duplicated:(json_int "duplicated" j) ~retransmits:(json_int "retransmits" j)
+    ~corruptions ()
 
 let load path =
   let ic = open_in path in
@@ -452,6 +479,9 @@ module Summary = struct
     recoveries : int;
     mis_joins : int;
     colors : int;
+    corruptions : int;
+    detects : int;
+    recolors : int;
   }
 
   type t = { phases : phase list; events : int }
@@ -470,6 +500,9 @@ module Summary = struct
     mutable a_recoveries : int;
     mutable a_mis_joins : int;
     mutable a_colors : int;
+    mutable a_corruptions : int;
+    mutable a_detects : int;
+    mutable a_recolors : int;
     mutable a_touched : bool;
   }
 
@@ -488,6 +521,9 @@ module Summary = struct
       a_recoveries = 0;
       a_mis_joins = 0;
       a_colors = 0;
+      a_corruptions = 0;
+      a_detects = 0;
+      a_recolors = 0;
       a_touched = false;
     }
 
@@ -512,6 +548,9 @@ module Summary = struct
       recoveries = a.a_recoveries;
       mis_joins = a.a_mis_joins;
       colors = a.a_colors;
+      corruptions = a.a_corruptions;
+      detects = a.a_detects;
+      recolors = a.a_recolors;
     }
 
   let of_events evs =
@@ -557,6 +596,15 @@ module Summary = struct
             a.a_touched <- true
         | Color _ ->
             a.a_colors <- a.a_colors + 1;
+            a.a_touched <- true
+        | Corrupt_state _ ->
+            a.a_corruptions <- a.a_corruptions + 1;
+            a.a_touched <- true
+        | Detect _ ->
+            a.a_detects <- a.a_detects + 1;
+            a.a_touched <- true
+        | Recolor _ ->
+            a.a_recolors <- a.a_recolors + 1;
             a.a_touched <- true)
       evs;
     flush ();
@@ -578,6 +626,9 @@ module Summary = struct
           recoveries = acc.recoveries + p.recoveries;
           mis_joins = acc.mis_joins + p.mis_joins;
           colors = acc.colors + p.colors;
+          corruptions = acc.corruptions + p.corruptions;
+          detects = acc.detects + p.detects;
+          recolors = acc.recolors + p.recolors;
         })
       (close (fresh "total" 1))
       phases
@@ -585,9 +636,9 @@ module Summary = struct
   let pp_phase ppf p =
     Format.fprintf ppf
       "phase=%s scale=%d rounds=%d sends=%d recvs=%d drops=%d duplicates=%d \
-       retransmits=%d crashes=%d mis_joins=%d colors=%d"
+       retransmits=%d crashes=%d mis_joins=%d colors=%d corruptions=%d recolors=%d"
       p.label p.scale p.rounds p.sends p.recvs p.drops p.duplicates p.retransmits
-      p.crashes p.mis_joins p.colors
+      p.crashes p.mis_joins p.colors p.corruptions p.recolors
 
   let pp ppf s =
     List.iter (fun p -> Format.fprintf ppf "%a@." pp_phase p) s.phases;
@@ -595,9 +646,10 @@ module Summary = struct
 
   let phase_to_json p =
     Printf.sprintf
-      {|{"label":%s,"scale":%d,"rounds":%d,"sends":%d,"recvs":%d,"drops":%d,"duplicates":%d,"retransmits":%d,"crashes":%d,"recoveries":%d,"mis_joins":%d,"colors":%d}|}
+      {|{"label":%s,"scale":%d,"rounds":%d,"sends":%d,"recvs":%d,"drops":%d,"duplicates":%d,"retransmits":%d,"crashes":%d,"recoveries":%d,"mis_joins":%d,"colors":%d,"corruptions":%d,"detects":%d,"recolors":%d}|}
       (escape_string p.label) p.scale p.rounds p.sends p.recvs p.drops p.duplicates
-      p.retransmits p.crashes p.recoveries p.mis_joins p.colors
+      p.retransmits p.crashes p.recoveries p.mis_joins p.colors p.corruptions p.detects
+      p.recolors
 
   let to_json s =
     Printf.sprintf {|{"events":%d,"phases":[%s],"totals":%s}|} s.events
@@ -732,6 +784,119 @@ module Replay = struct
           retransmit_events = totals.Summary.retransmits;
           crash_events = totals.Summary.crashes;
           schedule = sched;
+        }
+    with Reject msg -> Error msg
+
+  type stabilize_report = {
+    s_events : int;
+    s_corruptions : int;
+    s_detects : int;
+    s_recolorings : int;
+    s_recolored_arcs : int;
+    s_converged : bool;
+    s_rounds_to_stabilize : int;
+    s_schedule : Fdlsp_color.Schedule.t;
+  }
+
+  (* Stabilization replay: unlike [check_decisions], re-coloring is the
+     whole point here.  The ground-truth schedule is rebuilt from the
+     initial [Color] events, mutated by every [Corrupt_state] flip and
+     [Recolor], and must end valid.  Decisions are checked for locality
+     (only an arc's owner — its tail — may corrupt-report, detect or
+     recolor it), and with [?plan] every corruption event must match a
+     planned blip, mirroring [check_crashes].  The stabilization lag is
+     derived from timestamps alone (no [Round_end] dependency), so
+     asynchronous traces verify with the same code path. *)
+  let check_stabilize ?plan ?(require_converged = true) g evs =
+    let module S = Fdlsp_color.Schedule in
+    let narcs = Arc.count g in
+    try
+      let colors = Array.make narcs (-1) in
+      let corruptions = ref 0 and detects = ref 0 and recolors = ref 0 in
+      let recolored = Array.make narcs false in
+      let last_corrupt = ref Float.neg_infinity in
+      let last_change = ref Float.neg_infinity in
+      let check_arc i arc =
+        if arc < 0 || arc >= narcs then
+          rejectf "event %d: arc %d out of range (graph has %d arcs)" i arc narcs
+      in
+      let check_owner i node arc what =
+        if node <> Arc.tail g arc then
+          rejectf "event %d: node %d %s arc %d it does not own (tail is %d)" i node what
+            arc (Arc.tail g arc)
+      in
+      Array.iteri
+        (fun i { t; ev } ->
+          match ev with
+          | Color { node; arc; slot } ->
+              (* the initial (possibly already-corrupt) coloring *)
+              check_arc i arc;
+              if node <> Arc.tail g arc && node <> Arc.head g arc then
+                rejectf "event %d: node %d colored non-incident arc %d" i node arc;
+              colors.(arc) <- slot
+          | Corrupt_state { node; arc; slot } ->
+              incr corruptions;
+              last_corrupt := Float.max !last_corrupt t;
+              (match plan with
+              | Some p
+                when not
+                       (List.exists
+                          (fun b -> b.Fault.b_node = node && b.Fault.b_at = t)
+                          (Fault.blips p)) ->
+                  rejectf "event %d: corruption of node %d at t=%g matches no plan blip" i
+                    node t
+              | _ -> ());
+              (* arc < 0 encodes a view scramble: the victim's cached view
+                 of other owners' colors changed, not the schedule itself *)
+              if arc >= 0 then begin
+                check_arc i arc;
+                check_owner i node arc "corrupted";
+                colors.(arc) <- slot;
+                last_change := Float.max !last_change t
+              end
+          | Detect { node; arc } ->
+              incr detects;
+              check_arc i arc;
+              check_owner i node arc "flagged"
+          | Recolor { node; arc; slot } ->
+              incr recolors;
+              check_arc i arc;
+              check_owner i node arc "recolored";
+              if slot < 0 then rejectf "event %d: recolored arc %d to negative slot" i arc;
+              colors.(arc) <- slot;
+              recolored.(arc) <- true;
+              last_change := Float.max !last_change t
+          | _ -> ())
+        evs;
+      let sched = S.of_colors g colors in
+      let converged = S.valid sched in
+      if require_converged && not converged then begin
+        match S.validate sched with
+        | Error v ->
+            rejectf "network did not restabilize: %s"
+              (Format.asprintf "%a" (S.pp_violation g) v)
+        | Ok () -> ()
+      end;
+      (* lag from the last corruption to the last repair that touched the
+         schedule, inclusive: a flip fixed within its own round counts 1 *)
+      let rounds_to_stabilize =
+        if !corruptions = 0 || !last_change < !last_corrupt then 0
+        else
+          int_of_float (Float.ceil !last_change)
+          - int_of_float (Float.ceil !last_corrupt)
+          + 1
+      in
+      let distinct = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 recolored in
+      Ok
+        {
+          s_events = Array.length evs;
+          s_corruptions = !corruptions;
+          s_detects = !detects;
+          s_recolorings = !recolors;
+          s_recolored_arcs = distinct;
+          s_converged = converged;
+          s_rounds_to_stabilize = rounds_to_stabilize;
+          s_schedule = sched;
         }
     with Reject msg -> Error msg
 end

@@ -42,6 +42,15 @@ type event =
   | Mis_join of int  (** decision: node joined the (primary) MIS *)
   | Color of { node : int; arc : Arc.id; slot : int }
       (** decision: [node] assigned [slot] to its incident arc [arc] *)
+  | Corrupt_state of { node : int; arc : int; slot : int }
+      (** a fault-plan blip fired on [node]: [arc >= 0] means the arc's
+          stored slot was overwritten with [slot]; [arc = -1] (with
+          [slot = -1]) means the node's cached view of {e other} owners'
+          colors was scrambled, leaving the schedule itself untouched *)
+  | Detect of { node : int; arc : Arc.id }
+      (** [node] flagged its own arc [arc] as conflicting or uncolored *)
+  | Recolor of { node : int; arc : Arc.id; slot : int }
+      (** repair decision: [node] moved its own arc [arc] to [slot] *)
 
 type timed = { t : float; ev : event }
 (** [t] is the emitting engine's local clock (the round number for the
@@ -152,6 +161,9 @@ module Summary : sig
     recoveries : int;
     mis_joins : int;
     colors : int;
+    corruptions : int;  (** {!Corrupt_state} events (unscaled) *)
+    detects : int;
+    recolors : int;
   }
 
   type t = { phases : phase list; events : int }
@@ -210,4 +222,36 @@ module Replay : sig
     (report, string) result
   (** [require_complete] (default [false]) additionally demands that the
       decisions color every arc of [g]. *)
+
+  type stabilize_report = {
+    s_events : int;
+    s_corruptions : int;  (** {!Corrupt_state} events *)
+    s_detects : int;
+    s_recolorings : int;  (** {!Recolor} events *)
+    s_recolored_arcs : int;  (** distinct arcs ever recolored (locality) *)
+    s_converged : bool;  (** rebuilt final schedule passes [validate] *)
+    s_rounds_to_stabilize : int;
+        (** inclusive lag from the last corruption to the last
+            schedule-changing repair (0 when nothing needed fixing) *)
+    s_schedule : Fdlsp_color.Schedule.t;  (** the rebuilt final schedule *)
+  }
+
+  val check_stabilize :
+    ?plan:Fault.plan ->
+    ?require_converged:bool ->
+    Graph.t ->
+    timed array ->
+    (stabilize_report, string) result
+  (** Verifies a self-stabilization trace (see [Fdlsp_core.Stabilize]):
+      rebuilds the schedule from the initial {!Color} events, applies
+      every {!Corrupt_state} flip and {!Recolor} in stream order, and
+      checks {e locality} (only an arc's owner — its tail — may corrupt,
+      detect or recolor it), {e plan conformance} (with [plan], every
+      corruption event must match a planned blip's victim and time), and
+      {e reconvergence} (the final schedule passes
+      {!Fdlsp_color.Schedule.validate}; with [require_converged]
+      (default [true]) a non-valid final schedule is an error rather
+      than a report).  The stabilization lag is computed from event
+      timestamps alone, so traces from either engine verify with the
+      same code path. *)
 end

@@ -349,6 +349,17 @@ let test_churn_driver () =
     r.Churn.events;
   Alcotest.(check bool) "json mentions events" true
     (String.length (Churn.report_to_json r) > 0);
+  (* the report embeds the fault-plan metadata for reproducibility *)
+  Alcotest.(check int) "plan crashes recorded" 3 r.Churn.plan_crashes;
+  Alcotest.(check int) "plan blips recorded" 0 r.Churn.plan_blips;
+  Alcotest.(check int) "plan seed recorded" 0 r.Churn.plan_seed;
+  let contains s sub =
+    let n = String.length s and k = String.length sub in
+    let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json embeds the plan" true
+    (contains (Churn.report_to_json r) {|"plan":{"seed":0,"crashes":3,"blips":0}|});
   (* replaying the same plan is deterministic *)
   let r2 = Churn.run sched plan in
   Alcotest.(check bool) "deterministic" true (r = r2)
@@ -445,6 +456,74 @@ let test_repair_random_churn () =
       ("gnp", Gen.gnp (Random.State.make [| 72 |]) ~n:20 ~p:0.15);
     ]
 
+(* Satellite: a qcheck property over arbitrary graphs and op streams —
+   any interleaving of the five repair operations (including move_node,
+   which the fixed-seed test above never exercises) must leave the
+   schedule valid after every single step. *)
+let prop_repair_interleavings =
+  Generators.qtest "arbitrary repair interleavings keep the schedule valid" ~count:40
+    QCheck2.Gen.(pair (Generators.arb_connected ~max_n:12 ()) (int_bound 9999))
+    (fun (g, seed) ->
+      let rng = Random.State.make [| 0xC480; seed |] in
+      let state = ref (Repair.of_schedule (Dfs_sched.run g).Dfs_sched.schedule) in
+      let removed = Hashtbl.create 8 in
+      let live v = not (Hashtbl.mem removed v) in
+      let random_live () =
+        let n = Repair.nodes !state in
+        let rec pick tries =
+          if tries = 0 then None
+          else
+            let v = Random.State.int rng n in
+            if live v then Some v else pick (tries - 1)
+        in
+        pick 50
+      in
+      let live_sample ?(avoid = -1) k =
+        List.init k (fun _ -> random_live ())
+        |> List.filter_map Fun.id
+        |> List.filter (fun v -> v <> avoid)
+        |> List.sort_uniq compare
+      in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        (match Random.State.int rng 5 with
+        | 0 ->
+            let next, _, _ = Repair.add_node !state ~neighbors:(live_sample 3) in
+            state := next
+        | 1 -> (
+            match random_live () with
+            | Some v ->
+                state := Repair.remove_node !state v;
+                Hashtbl.replace removed v ()
+            | None -> ())
+        | 2 -> (
+            match (random_live (), random_live ()) with
+            | Some u, Some v
+              when u <> v && not (Graph.mem_edge (Repair.graph !state) u v) ->
+                let next, _ = Repair.add_edge !state u v in
+                state := next
+            | _ -> ())
+        | 3 -> (
+            match random_live () with
+            | Some u ->
+                let nbrs = Graph.neighbors (Repair.graph !state) u in
+                if Array.length nbrs > 0 then
+                  state :=
+                    Repair.remove_edge !state u
+                      nbrs.(Random.State.int rng (Array.length nbrs))
+            | None -> ())
+        | _ -> (
+            match random_live () with
+            | Some u ->
+                let next, _ =
+                  Repair.move_node !state u ~new_neighbors:(live_sample ~avoid:u 3)
+                in
+                state := next
+            | None -> ()));
+        if not (Schedule.valid (Repair.schedule !state)) then ok := false
+      done;
+      !ok)
+
 let () =
   Alcotest.run "fdlsp_faults"
     [
@@ -493,5 +572,6 @@ let () =
           Alcotest.test_case "overlapping windows collapse" `Quick
             test_churn_overlapping_windows_collapse;
           Alcotest.test_case "randomized repair churn" `Quick test_repair_random_churn;
+          prop_repair_interleavings;
         ] );
     ]

@@ -225,12 +225,12 @@ let test_stats_printers () =
   let s = Stats.make ~rounds:2 ~messages:7 ~volume:9 ~dropped:1 ~retransmits:4 () in
   Alcotest.(check string)
     "pp_kv is stable"
-    "rounds=2 messages=7 volume=9 dropped=1 duplicated=0 retransmits=4"
+    "rounds=2 messages=7 volume=9 dropped=1 duplicated=0 retransmits=4 corruptions=0"
     (Format.asprintf "%a" Stats.pp_kv s);
   Alcotest.(check string)
     "to_json is flat"
     "{\"rounds\":2,\"messages\":7,\"volume\":9,\"dropped\":1,\"duplicated\":0,\
-     \"retransmits\":4}"
+     \"retransmits\":4,\"corruptions\":0}"
     (Stats.to_json s);
   (* the human printer shows fault counters only when nonzero *)
   let clean = Stats.make ~rounds:2 ~messages:7 () in

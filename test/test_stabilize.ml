@@ -1,0 +1,325 @@
+(* Self-stabilization tests: the two defining properties (convergence
+   from arbitrary/corrupted state, closure on valid state), composition
+   with the reliable layer under loss, the asynchronous engine, and
+   trace-replay verification of reconvergence. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+open Fdlsp_core
+
+let dfs_schedule g = (Dfs_sched.run g).Dfs_sched.schedule
+
+let check_valid what sched =
+  match Schedule.validate sched with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "%s: %s" what
+        (Format.asprintf "%a" (Schedule.pp_violation (Schedule.graph sched)) v)
+
+(* ------------------------------------------------------------------ *)
+(* Blip plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_scatter_blips () =
+  let a = Fault.scatter_blips ~seed:7 ~n:10 ~count:5 ~horizon:6 () in
+  let b = Fault.scatter_blips ~seed:7 ~n:10 ~count:5 ~horizon:6 () in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check int) "count" 5 (List.length a);
+  List.iter
+    (fun bl ->
+      Alcotest.(check bool) "node in range" true (bl.Fault.b_node >= 0 && bl.Fault.b_node < 10);
+      Alcotest.(check bool) "time in horizon" true (bl.Fault.b_at >= 1. && bl.Fault.b_at <= 6.))
+    a;
+  let c = Fault.scatter_blips ~seed:8 ~n:10 ~count:5 ~horizon:6 () in
+  Alcotest.(check bool) "seed matters" true (a <> c);
+  Alcotest.check_raises "empty network"
+    (Invalid_argument "Fault.scatter_blips: empty network") (fun () ->
+      ignore (Fault.scatter_blips ~n:0 ~count:1 ~horizon:3 ()))
+
+let test_plan_with_blips () =
+  let blips =
+    [
+      { Fault.b_node = 3; b_at = 5.; b_kind = Fault.Flip_slot };
+      { Fault.b_node = 1; b_at = 2.; b_kind = Fault.Scramble_view };
+    ]
+  in
+  let plan = Fault.make ~blips () in
+  Alcotest.(check bool) "blip-only plan is not none" false (Fault.is_none plan);
+  Alcotest.(check bool) "blip-only plan is lossless" true (Fault.lossless plan);
+  Alcotest.(check bool) "lossy plan is not lossless" false
+    (Fault.lossless (Fault.uniform 0.2));
+  (match Fault.blips plan with
+  | [ a; b ] ->
+      Alcotest.(check int) "sorted by time: first" 1 a.Fault.b_node;
+      Alcotest.(check int) "sorted by time: second" 3 b.Fault.b_node
+  | _ -> Alcotest.fail "expected two blips");
+  Alcotest.check_raises "negative blip time"
+    (Invalid_argument "Fault: blip before time 0") (fun () ->
+      ignore (Fault.make ~blips:[ { Fault.b_node = 0; b_at = -1.; b_kind = Fault.Flip_slot } ] ()))
+
+let test_sync_counts_blips_without_hook () =
+  (* engines count applied blips in Stats.corruptions even when the
+     protocol installs no hook *)
+  let g = Gen.cycle 4 in
+  let blips = [ { Fault.b_node = 2; b_at = 2.; b_kind = Fault.Flip_slot } ] in
+  let step ~round v st _ =
+    if round >= 3 then (st, Sync.Halt [])
+    else (st, Sync.Continue (Graph.fold_neighbors g v (fun acc w -> (w, ()) :: acc) []))
+  in
+  let _, stats = Sync.run ~faults:(Fault.make ~blips ()) g ~init:(fun _ -> ((), true)) ~step in
+  Alcotest.(check int) "corruptions counted" 1 stats.Stats.corruptions
+
+(* ------------------------------------------------------------------ *)
+(* Closure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_closure_unit () =
+  let g = fst (Gen.udg (Random.State.make [| 11 |]) ~n:25 ~side:5. ~radius:1.5) in
+  let sched = dfs_schedule g in
+  check_valid "initial schedule" sched;
+  let r = Stabilize.run ~rounds:8 g sched in
+  Alcotest.(check bool) "converged" true r.Stabilize.converged;
+  Alcotest.(check int) "zero recolorings" 0 r.Stabilize.recolorings;
+  Alcotest.(check int) "zero detects" 0 r.Stabilize.detects;
+  Alcotest.(check int) "zero corruptions" 0 r.Stabilize.corruptions;
+  Alcotest.(check int) "heartbeats only" (7 * 2 * Graph.m g) r.Stabilize.stats.Stats.messages;
+  Alcotest.(check int) "no slot drift" r.Stabilize.initial_slots r.Stabilize.final_slots
+
+let prop_closure =
+  Generators.qtest "closure: valid schedule, no faults => zero recolorings" ~count:30
+    (Generators.arb_gnp ~min_n:2 ~max_n:14 ~max_p:0.6 ())
+    (fun g ->
+      let r = Stabilize.run ~rounds:6 g (dfs_schedule g) in
+      r.Stabilize.converged
+      && r.Stabilize.recolorings = 0
+      && r.Stabilize.stats.Stats.messages = 5 * 2 * Graph.m g)
+
+(* ------------------------------------------------------------------ *)
+(* Convergence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_convergence_unit () =
+  let g = fst (Gen.udg (Random.State.make [| 23 |]) ~n:30 ~side:5. ~radius:1.5) in
+  let sched = dfs_schedule g in
+  let blips = Fault.scatter_blips ~seed:5 ~n:(Graph.n g) ~count:12 ~horizon:8 () in
+  let faults = Fault.make ~seed:5 ~blips () in
+  let r = Stabilize.run ~faults g sched in
+  Alcotest.(check int) "all blips applied" 12 r.Stabilize.corruptions;
+  Alcotest.(check bool) "converged" true r.Stabilize.converged;
+  check_valid "final schedule" r.Stabilize.schedule;
+  Alcotest.(check bool) "repairs happened" true (r.Stabilize.recolorings > 0);
+  Alcotest.(check bool) "stabilized within horizon" true
+    (r.Stabilize.last_repair_round <= r.Stabilize.rounds)
+
+let test_determinism () =
+  let g = Gen.gnp (Random.State.make [| 3 |]) ~n:20 ~p:0.25 in
+  let sched = dfs_schedule g in
+  let faults =
+    Fault.make ~seed:9 ~blips:(Fault.scatter_blips ~seed:9 ~n:20 ~count:8 ~horizon:6 ()) ()
+  in
+  let a = Stabilize.run ~faults g sched in
+  let b = Stabilize.run ~faults g sched in
+  Alcotest.(check bool) "identical stats" true (a.Stabilize.stats = b.Stabilize.stats);
+  Alcotest.(check int) "identical recolorings" a.Stabilize.recolorings b.Stabilize.recolorings;
+  Alcotest.(check bool) "identical schedules" true
+    (Schedule.colors a.Stabilize.schedule = Schedule.colors b.Stabilize.schedule)
+
+let prop_convergence_from_blips =
+  Generators.qtest "convergence: seeded corruption plans restabilize" ~count:30
+    QCheck2.Gen.(pair (Generators.arb_gnp ~min_n:2 ~max_n:12 ~max_p:0.5 ()) (int_bound 9999))
+    (fun (g, seed) ->
+      let n = Graph.n g in
+      let blips = Fault.scatter_blips ~seed ~n ~count:(1 + (n / 2)) ~horizon:8 () in
+      let faults = Fault.make ~seed ~blips () in
+      let r = Stabilize.run ~faults g (dfs_schedule g) in
+      r.Stabilize.converged && Schedule.valid r.Stabilize.schedule)
+
+let prop_convergence_from_arbitrary =
+  Generators.qtest "convergence: arbitrary initial colorings restabilize" ~count:30
+    QCheck2.Gen.(pair (Generators.arb_gnp ~min_n:1 ~max_n:12 ~max_p:0.5 ()) (int_bound 9999))
+    (fun (g, seed) ->
+      let rng = Random.State.make [| 0xA5; seed |] in
+      let colors =
+        Array.init (Arc.count g) (fun _ ->
+            if Random.State.bool rng then -1 else Random.State.int rng 4)
+      in
+      let sched0 = Schedule.of_colors g colors in
+      let r = Stabilize.run ~rounds:40 g sched0 in
+      r.Stabilize.converged)
+
+let prop_convergence_udg =
+  Generators.qtest "convergence: UDG graphs restabilize" ~count:15 (Generators.arb_udg ())
+    (fun g ->
+      let n = Graph.n g in
+      let blips = Fault.scatter_blips ~seed:n ~n ~count:(1 + (n / 3)) ~horizon:6 () in
+      let faults = Fault.make ~seed:n ~blips () in
+      (Stabilize.run ~faults g (dfs_schedule g)).Stabilize.converged)
+
+(* ------------------------------------------------------------------ *)
+(* Composition: reliable layer, crashes, asynchronous engine           *)
+(* ------------------------------------------------------------------ *)
+
+let test_converges_under_loss () =
+  let g = fst (Gen.udg (Random.State.make [| 31 |]) ~n:20 ~side:4. ~radius:1.5) in
+  let sched = dfs_schedule g in
+  List.iter
+    (fun drop ->
+      let blips = Fault.scatter_blips ~seed:13 ~n:(Graph.n g) ~count:8 ~horizon:10 () in
+      let faults =
+        Fault.make ~seed:13 ~default_link:(Fault.lossy drop) ~blips ()
+      in
+      let r = Stabilize.run ~faults ~rounds:30 g sched in
+      Alcotest.(check bool)
+        (Printf.sprintf "converged at %g%% loss" (100. *. drop))
+        true r.Stabilize.converged;
+      Alcotest.(check bool)
+        (Printf.sprintf "loss actually injected at %g" drop)
+        true
+        (r.Stabilize.stats.Stats.dropped > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "retransmissions at %g" drop)
+        true
+        (r.Stabilize.stats.Stats.retransmits > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "blips fired at %g" drop)
+        true
+        (r.Stabilize.corruptions > 0))
+    [ 0.1; 0.3 ]
+
+let test_converges_on_lockstep_engine () =
+  let g = Gen.gnp (Random.State.make [| 41 |]) ~n:16 ~p:0.3 in
+  let sched = dfs_schedule g in
+  let blips = Fault.scatter_blips ~seed:21 ~n:16 ~count:6 ~horizon:6 () in
+  let faults = Fault.make ~seed:21 ~blips () in
+  let engine = Lockstep.runner ~blips () in
+  let r = Stabilize.run ~faults ~engine g sched in
+  Alcotest.(check bool) "converged on async engine" true r.Stabilize.converged;
+  Alcotest.(check int) "all blips applied" 6 r.Stabilize.corruptions;
+  check_valid "final schedule" r.Stabilize.schedule
+
+(* ------------------------------------------------------------------ *)
+(* Traces and replay                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced ?(count = 10) ?(drop = 0.) seed g =
+  let sched = dfs_schedule g in
+  let blips = Fault.scatter_blips ~seed ~n:(Graph.n g) ~count ~horizon:8 () in
+  let faults =
+    Fault.make ~seed
+      ~default_link:(if drop > 0. then Fault.lossy drop else Fault.perfect)
+      ~blips ()
+  in
+  let sink = Trace.memory () in
+  let r = Stabilize.run ~faults ~rounds:30 ~trace:sink g sched in
+  (r, faults, Trace.events sink)
+
+let test_trace_replay_verifies_reconvergence () =
+  let g = fst (Gen.udg (Random.State.make [| 53 |]) ~n:20 ~side:4. ~radius:1.5) in
+  let r, plan, evs = run_traced 17 g in
+  Alcotest.(check bool) "run converged" true r.Stabilize.converged;
+  match Trace.Replay.check_stabilize ~plan g evs with
+  | Error m -> Alcotest.failf "replay rejected a genuine trace: %s" m
+  | Ok rep ->
+      Alcotest.(check bool) "replay converged" true rep.Trace.Replay.s_converged;
+      Alcotest.(check int) "corruption events match" r.Stabilize.corruptions
+        rep.Trace.Replay.s_corruptions;
+      Alcotest.(check int) "recolorings match" r.Stabilize.recolorings
+        rep.Trace.Replay.s_recolorings;
+      Alcotest.(check int) "locality matches" r.Stabilize.recolored_arcs
+        rep.Trace.Replay.s_recolored_arcs;
+      Alcotest.(check bool) "rebuilt schedule matches"
+        true
+        (Schedule.colors rep.Trace.Replay.s_schedule
+        = Schedule.colors r.Stabilize.schedule);
+      Alcotest.(check bool) "counted rounds to stabilize" true
+        (rep.Trace.Replay.s_rounds_to_stabilize >= 1);
+      Alcotest.(check int) "lag agrees with the live report"
+        r.Stabilize.rounds_to_stabilize rep.Trace.Replay.s_rounds_to_stabilize
+
+let test_trace_replay_rejects_tampering () =
+  let g = Gen.gnp (Random.State.make [| 67 |]) ~n:12 ~p:0.35 in
+  let _, plan, evs = run_traced 29 g in
+  (* recolor attributed to a node that does not own the arc *)
+  let tampered =
+    Array.map
+      (fun ({ Trace.t; ev } as e) ->
+        match ev with
+        | Trace.Recolor { node; arc; slot } ->
+            { Trace.t; ev = Trace.Recolor { node = (node + 1) mod Graph.n g; arc; slot } }
+        | _ -> e)
+      evs
+  in
+  let had_recolor = tampered <> evs in
+  if had_recolor then
+    (match Trace.Replay.check_stabilize ~plan g tampered with
+    | Ok _ -> Alcotest.fail "replay accepted a non-owner recoloring"
+    | Error _ -> ());
+  (* corruption event that matches no planned blip *)
+  let forged =
+    Array.append evs
+      [| { Trace.t = 999.; ev = Trace.Corrupt_state { node = 0; arc = -1; slot = -1 } } |]
+  in
+  match Trace.Replay.check_stabilize ~plan g forged with
+  | Ok _ -> Alcotest.fail "replay accepted an unplanned corruption"
+  | Error _ -> ()
+
+let test_trace_replay_lossy_roundtrip () =
+  (* record under loss, write to a file, load it back, verify *)
+  let g = fst (Gen.udg (Random.State.make [| 71 |]) ~n:15 ~side:4. ~radius:1.6) in
+  let r, plan, evs = run_traced ~drop:0.15 43 g in
+  Alcotest.(check bool) "run converged" true r.Stabilize.converged;
+  let path = Filename.temp_file "fdlsp_stab" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save ~meta:[ ("algo", "stabilize") ] ~stats:r.Stabilize.stats path evs;
+      let file = Trace.load path in
+      Alcotest.(check int) "events survive the round-trip" (Array.length evs)
+        (Array.length file.Trace.events);
+      (match file.Trace.stats with
+      | Some s -> Alcotest.(check int) "corruptions survive" r.Stabilize.corruptions s.Stats.corruptions
+      | None -> Alcotest.fail "missing stats trailer");
+      match Trace.Replay.check_stabilize ~plan g file.Trace.events with
+      | Error m -> Alcotest.failf "replay rejected the loaded trace: %s" m
+      | Ok rep -> Alcotest.(check bool) "loaded trace converged" true rep.Trace.Replay.s_converged)
+
+let () =
+  Alcotest.run "stabilize"
+    [
+      ( "blips",
+        [
+          Alcotest.test_case "scatter_blips" `Quick test_scatter_blips;
+          Alcotest.test_case "plan with blips" `Quick test_plan_with_blips;
+          Alcotest.test_case "counted without hook" `Quick
+            test_sync_counts_blips_without_hook;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "valid schedule stays put" `Quick test_closure_unit;
+          prop_closure;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "corruption plan restabilizes" `Quick test_convergence_unit;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          prop_convergence_from_blips;
+          prop_convergence_from_arbitrary;
+          prop_convergence_udg;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "converges at 10% and 30% loss" `Quick
+            test_converges_under_loss;
+          Alcotest.test_case "converges on the async engine" `Quick
+            test_converges_on_lockstep_engine;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "verifies reconvergence" `Quick
+            test_trace_replay_verifies_reconvergence;
+          Alcotest.test_case "rejects tampering" `Quick test_trace_replay_rejects_tampering;
+          Alcotest.test_case "lossy record/load round-trip" `Quick
+            test_trace_replay_lossy_roundtrip;
+        ] );
+    ]

@@ -25,6 +25,10 @@ let sample_events =
     ev 0. (Trace.Phase { label = "color \"x\"\n"; scale = 3 });
     ev 2. (Trace.Mis_join 5);
     ev 2. (Trace.Color { node = 4; arc = 7; slot = 2 });
+    ev 3. (Trace.Corrupt_state { node = 2; arc = 5; slot = 9 });
+    ev 3. (Trace.Corrupt_state { node = 1; arc = -1; slot = -1 });
+    ev 4. (Trace.Detect { node = 2; arc = 5 });
+    ev 4. (Trace.Recolor { node = 2; arc = 5; slot = 1 });
   |]
 
 (* ------------------------------------------------------------------ *)
@@ -170,6 +174,7 @@ let arb_stats =
       ~retransmits:(Random.State.int st 500)
       ~rounds:(Random.State.int st 1000)
       ~messages:(Random.State.int st 10_000)
+      ~corruptions:(Random.State.int st 100)
       ()
   in
   QCheck2.Gen.make_primitive ~gen ~shrink:(fun _ -> Seq.empty)
@@ -186,7 +191,7 @@ let prop_stats_json_matches_kv =
                | [ k; v ] -> (k, float_of_string v)
                | _ -> failwith "bad kv pair")
       in
-      List.length kv = 6
+      List.length kv = 7
       && List.for_all
            (fun (k, v) -> Trace.Json.member k j = Some (Trace.Json.Num v))
            kv)
