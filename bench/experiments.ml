@@ -5,15 +5,25 @@
 open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_core
+module Metrics = Fdlsp_sim.Metrics
 
 type config = {
   seeds : int;  (** random graphs per data point (paper: 75) *)
   base_seed : int;
+  smoke : bool;  (** CI mode: shrink point sets to a representative corner *)
+  metrics : Metrics.t;  (** registry the experiment records into *)
 }
 
-let default = { seeds = 10; base_seed = 42 }
+let default = { seeds = 10; base_seed = 42; smoke = false; metrics = Metrics.create () }
 
 let rng_for cfg k = Random.State.make [| cfg.base_seed; k |]
+
+(* Labeled sink into the experiment's registry: protocol runs add their
+   own {algo, engine, phase} labels under these point-identity labels. *)
+let msink cfg labels = Metrics.sink ~labels cfg.metrics
+
+(* Smoke mode keeps the first [k] points of a sweep. *)
+let take_smoke cfg k xs = if cfg.smoke then List.filteri (fun i _ -> i < k) xs else xs
 
 (* The four slot-count series every figure plots. *)
 type series = {
@@ -28,14 +38,15 @@ type series = {
   volume : float;  (** payload entries across all distMIS messages *)
 }
 
-let measure_point cfg ~variant make_graph =
+let measure_point cfg ?(labels = []) ~variant make_graph =
+  let m = msink cfg labels in
   let samples =
     List.init cfg.seeds (fun k ->
         let rng = rng_for cfg k in
         let g = make_graph rng in
-        let dm = Dist_mis.run ~mis:(Mis.Luby rng) ~variant g in
-        let dfs = Dfs_sched.run g in
-        let dmgc = Dmgc.run g in
+        let dm = Dist_mis.run ~metrics:m ~mis:(Mis.Luby rng) ~variant g in
+        let dfs = Dfs_sched.run ~metrics:m g in
+        let dmgc = Dmgc.run ~metrics:m g in
         ( Bounds.lower g,
           Schedule.num_slots dm.Dist_mis.schedule,
           Schedule.num_slots dfs.Dfs_sched.schedule,
@@ -45,23 +56,35 @@ let measure_point cfg ~variant make_graph =
           dm.Dist_mis.stats ))
   in
   let pick f = Report.mean (List.map f samples) in
-  {
-    lb = pick (fun (x, _, _, _, _, _, _) -> float_of_int x);
-    dist_mis = pick (fun (_, x, _, _, _, _, _) -> float_of_int x);
-    dfs = pick (fun (_, _, x, _, _, _, _) -> float_of_int x);
-    dmgc = pick (fun (_, _, _, x, _, _, _) -> float_of_int x);
-    ub = pick (fun (_, _, _, _, x, _, _) -> float_of_int x);
-    avg_deg = pick (fun (_, _, _, _, _, x, _) -> x);
-    rounds = pick (fun (_, _, _, _, _, _, st) -> float_of_int st.Fdlsp_sim.Stats.rounds);
-    messages = pick (fun (_, _, _, _, _, _, st) -> float_of_int st.Fdlsp_sim.Stats.messages);
-    volume = pick (fun (_, _, _, _, _, _, st) -> float_of_int st.Fdlsp_sim.Stats.volume);
-  }
+  let s =
+    {
+      lb = pick (fun (x, _, _, _, _, _, _) -> float_of_int x);
+      dist_mis = pick (fun (_, x, _, _, _, _, _) -> float_of_int x);
+      dfs = pick (fun (_, _, x, _, _, _, _) -> float_of_int x);
+      dmgc = pick (fun (_, _, _, x, _, _, _) -> float_of_int x);
+      ub = pick (fun (_, _, _, _, x, _, _) -> float_of_int x);
+      avg_deg = pick (fun (_, _, _, _, _, x, _) -> x);
+      rounds = pick (fun (_, _, _, _, _, _, st) -> float_of_int st.Fdlsp_sim.Stats.rounds);
+      messages = pick (fun (_, _, _, _, _, _, st) -> float_of_int st.Fdlsp_sim.Stats.messages);
+      volume = pick (fun (_, _, _, _, _, _, st) -> float_of_int st.Fdlsp_sim.Stats.volume);
+    }
+  in
+  let slots series v =
+    Metrics.gauge (Metrics.with_label m "series" series) "fdlsp_bench_slots" v
+  in
+  slots "lb" s.lb;
+  slots "distmis" s.dist_mis;
+  slots "dfs" s.dfs;
+  slots "dmgc" s.dmgc;
+  slots "ub" s.ub;
+  Metrics.gauge m "fdlsp_bench_avg_degree" s.avg_deg;
+  s
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 _cfg =
+let table1 cfg =
   Report.section
     "Table 1: optimal (ILP) vs distributed DFS on complete bipartite and complete graphs";
   (* paper-reported values for side-by-side comparison *)
@@ -74,12 +97,21 @@ let table1 _cfg =
       ("K5", Gen.complete 5, "20", "20");
     ]
   in
+  let instances =
+    if cfg.smoke then
+      List.filter (fun (name, _, _, _) -> List.mem name [ "K2,2"; "K3,3"; "K4" ]) instances
+    else instances
+  in
   let rows =
     List.map
       (fun (name, g, paper_ilp, paper_dfs) ->
+        let m = msink cfg [ ("instance", name) ] in
         let exact = Dsatur.fdlsp_optimal ~max_decisions:50_000_000 g in
         let status = if exact.Dsatur.status = Dsatur.Optimal then "optimal" else "best-found" in
-        let dfs = Dfs_sched.run g in
+        let dfs = Dfs_sched.run ~metrics:m g in
+        Metrics.gauge m "fdlsp_bench_optimal_colors" (float_of_int exact.Dsatur.colors_used);
+        Metrics.gauge m "fdlsp_bench_dfs_slots"
+          (float_of_int (Schedule.num_slots dfs.Dfs_sched.schedule));
         [
           name;
           paper_ilp;
@@ -116,8 +148,10 @@ let fig_udg cfg ~figure ~side =
     List.map
       (fun n ->
         let s =
-          measure_point cfg ~variant:Dist_mis.Gbg (fun rng ->
-              fst (Gen.udg rng ~n ~side:(side /. 2.) ~radius:0.5))
+          measure_point cfg
+            ~labels:[ ("figure", string_of_int figure); ("n", string_of_int n) ]
+            ~variant:Dist_mis.Gbg
+            (fun rng -> fst (Gen.udg rng ~n ~side:(side /. 2.) ~radius:0.5))
         in
         [
           string_of_int n;
@@ -128,7 +162,7 @@ let fig_udg cfg ~figure ~side =
           Report.f1 s.dmgc;
           Report.f1 s.ub;
         ])
-      [ 50; 100; 200; 300 ]
+      (take_smoke cfg 2 [ 50; 100; 200; 300 ])
   in
   print_string
     (Report.table
@@ -152,7 +186,17 @@ let fig_general cfg ~figure ~n ~edge_counts =
   let rows =
     List.map
       (fun m ->
-        let s = measure_point cfg ~variant:Dist_mis.General (fun rng -> Gen.gnm rng ~n ~m) in
+        let s =
+          measure_point cfg
+            ~labels:
+              [
+                ("figure", string_of_int figure);
+                ("n", string_of_int n);
+                ("edges", string_of_int m);
+              ]
+            ~variant:Dist_mis.General
+            (fun rng -> Gen.gnm rng ~n ~m)
+        in
         [
           string_of_int m;
           Report.f1 s.avg_deg;
@@ -162,7 +206,7 @@ let fig_general cfg ~figure ~n ~edge_counts =
           Report.f1 s.dmgc;
           Report.f1 s.ub;
         ])
-      edge_counts
+      (take_smoke cfg 2 edge_counts)
   in
   print_string
     (Report.table
@@ -182,7 +226,7 @@ let fig13 cfg =
        "Figure 13: DistMIS communication rounds in UDG with varying edges (%d seeds; \
         density swept via transmission radius, plan 15x15)"
        cfg.seeds);
-  let radii = [ 0.5; 0.8; 1.1; 1.4; 1.7 ] in
+  let radii = take_smoke cfg 2 [ 0.5; 0.8; 1.1; 1.4; 1.7 ] in
   List.iter
     (fun n ->
       let rows =
@@ -194,8 +238,15 @@ let fig13 cfg =
                      Graph.m (fst (Gen.udg (rng_for cfg k) ~n ~side:15. ~radius))))
             in
             let s =
-              measure_point cfg ~variant:Dist_mis.Gbg (fun rng ->
-                  fst (Gen.udg rng ~n ~side:15. ~radius))
+              measure_point cfg
+                ~labels:
+                  [
+                    ("figure", "13");
+                    ("n", string_of_int n);
+                    ("radius", Printf.sprintf "%.1f" radius);
+                  ]
+                ~variant:Dist_mis.Gbg
+                (fun rng -> fst (Gen.udg rng ~n ~side:15. ~radius))
             in
             [
               Printf.sprintf "%.1f" radius;
@@ -210,7 +261,7 @@ let fig13 cfg =
       print_string
         (Report.table ~header:[ "radius"; "edges"; "rounds"; "messages"; "payload" ] rows);
       print_newline ())
-    [ 100; 200; 300 ]
+    (take_smoke cfg 1 [ 100; 200; 300 ])
 
 let fig_rounds_general cfg ~figure ~n ~edge_counts =
   Report.section
@@ -220,7 +271,17 @@ let fig_rounds_general cfg ~figure ~n ~edge_counts =
   let rows =
     List.map
       (fun m ->
-        let s = measure_point cfg ~variant:Dist_mis.General (fun rng -> Gen.gnm rng ~n ~m) in
+        let s =
+          measure_point cfg
+            ~labels:
+              [
+                ("figure", string_of_int figure);
+                ("n", string_of_int n);
+                ("edges", string_of_int m);
+              ]
+            ~variant:Dist_mis.General
+            (fun rng -> Gen.gnm rng ~n ~m)
+        in
         [
           string_of_int m;
           Report.f1 s.avg_deg;
@@ -228,7 +289,7 @@ let fig_rounds_general cfg ~figure ~n ~edge_counts =
           Report.f1 s.messages;
           Report.f1 s.volume;
         ])
-      edge_counts
+      (take_smoke cfg 2 edge_counts)
   in
   print_string
     (Report.table ~header:[ "edges"; "avg_deg"; "rounds"; "messages"; "payload" ] rows)
@@ -250,20 +311,22 @@ let faults cfg =
        "Fault sweep: schedule validity and retransmission overhead under uniform loss \
         (%d seeds; reliable layer at default tuning)"
        cfg.seeds);
-  let losses = [ 0.0; 0.05; 0.1; 0.2; 0.3 ] in
+  let losses =
+    if cfg.smoke then [ 0.0; 0.1 ] else [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+  in
   let families =
     [
       ("udg", fun rng -> fst (Gen.udg rng ~n:40 ~side:6. ~radius:1.));
       ("gnp", fun rng -> Gen.gnp rng ~n:40 ~p:0.08);
     ]
   in
-  let run_algo algo faults rng g =
+  let run_algo m algo faults rng g =
     match algo with
     | `Distmis ->
-        let r = Dist_mis.run ?faults ~mis:(Mis.Luby rng) ~variant:Dist_mis.Gbg g in
+        let r = Dist_mis.run ?faults ~metrics:m ~mis:(Mis.Luby rng) ~variant:Dist_mis.Gbg g in
         (r.Dist_mis.schedule, r.Dist_mis.stats)
     | `Dfs ->
-        let r = Dfs_sched.run ?faults g in
+        let r = Dfs_sched.run ?faults ~metrics:m g in
         (r.Dfs_sched.schedule, r.Dfs_sched.stats)
   in
   let json_points = Buffer.create 1024 in
@@ -275,6 +338,9 @@ let faults cfg =
           let rows =
             List.map
               (fun loss ->
+                let m =
+                  msink cfg [ ("family", fam); ("loss", Printf.sprintf "%.2f" loss) ]
+                in
                 let all_valid = ref true in
                 let samples =
                   List.init cfg.seeds (fun k ->
@@ -288,7 +354,7 @@ let faults cfg =
                                ~seed:(cfg.base_seed + (977 * k) + int_of_float (loss *. 1000.))
                                loss)
                       in
-                      let sched, st = run_algo algo faults rng g in
+                      let sched, st = run_algo m algo faults rng g in
                       if not (Schedule.valid sched) then all_valid := false;
                       st)
                 in
@@ -305,6 +371,10 @@ let faults cfg =
                 end;
                 let round_x = rounds /. !base_rounds in
                 let msg_x = messages /. !base_msgs in
+                let mg = Metrics.with_label m "algo" algo_name in
+                Metrics.gauge mg "fdlsp_bench_valid" (if !all_valid then 1. else 0.);
+                Metrics.gauge mg "fdlsp_bench_round_overhead" round_x;
+                Metrics.gauge mg "fdlsp_bench_message_overhead" msg_x;
                 if Buffer.length json_points > 0 then Buffer.add_char json_points ',';
                 Buffer.add_string json_points
                   (Printf.sprintf
@@ -364,7 +434,7 @@ let phases cfg =
     ]
   in
   let settings = [ ("lossless", 0.0); ("loss=0.10", 0.1) ] in
-  let run_traced algo loss rng k g =
+  let run_traced m algo loss rng k g =
     let trace = Fdlsp_sim.Trace.memory ~capacity:2_000_000 () in
     let faults =
       if loss = 0. then None
@@ -376,8 +446,9 @@ let phases cfg =
     in
     (match algo with
     | `Distmis ->
-        ignore (Dist_mis.run ?faults ~trace ~mis:(Mis.Luby rng) ~variant:Dist_mis.Gbg g)
-    | `Dfs -> ignore (Dfs_sched.run ?faults ~trace g));
+        ignore
+          (Dist_mis.run ?faults ~trace ~metrics:m ~mis:(Mis.Luby rng) ~variant:Dist_mis.Gbg g)
+    | `Dfs -> ignore (Dfs_sched.run ?faults ~trace ~metrics:m g));
     Fdlsp_sim.Trace.Summary.of_events (Fdlsp_sim.Trace.events trace)
   in
   let json_points = Buffer.create 1024 in
@@ -410,10 +481,13 @@ let phases cfg =
                     p.retransmits;
                   ]
               in
+              let m =
+                msink cfg [ ("family", fam); ("loss", Printf.sprintf "%.2f" loss) ]
+              in
               for k = 0 to cfg.seeds - 1 do
                 let rng = rng_for cfg k in
                 let g = make_graph rng in
-                let summary = run_traced algo loss rng k g in
+                let summary = run_traced m algo loss rng k g in
                 List.iter record summary.Fdlsp_sim.Trace.Summary.phases;
                 record (Fdlsp_sim.Trace.Summary.totals summary)
               done;
@@ -468,6 +542,10 @@ let ablation cfg =
   Report.section "Ablation A: MIS subroutine inside DistMIS (UDG, n=150, side 10, r=1)";
   let make rng = fst (Gen.udg rng ~n:150 ~side:10. ~radius:1.) in
   let run_mis algo_name algo =
+    let slug =
+      match algo with `Luby -> "luby" | `Local_min -> "localmin" | `Gps -> "gps"
+    in
+    let m = msink cfg [ ("ablation", "A"); ("subroutine", slug) ] in
     let slots = ref [] and rounds = ref [] in
     for k = 0 to cfg.seeds - 1 do
       let rng = rng_for cfg k in
@@ -478,7 +556,7 @@ let ablation cfg =
         | `Local_min -> Mis.Local_min
         | `Gps -> Mis.Gps
       in
-      let r = Dist_mis.run ~mis:algo ~variant:Dist_mis.Gbg g in
+      let r = Dist_mis.run ~metrics:m ~mis:algo ~variant:Dist_mis.Gbg g in
       slots := float_of_int (Schedule.num_slots r.Dist_mis.schedule) :: !slots;
       rounds := float_of_int r.Dist_mis.stats.Fdlsp_sim.Stats.rounds :: !rounds
     done;
@@ -495,10 +573,14 @@ let ablation cfg =
 
   Report.section "Ablation B: DFS token policy (Algorithm 2 line 7)";
   let run_policy name policy =
+    let slug =
+      match policy with Dfs_sched.Max_degree -> "maxdeg" | Dfs_sched.Min_id -> "minid"
+    in
+    let m = msink cfg [ ("ablation", "B"); ("policy", slug) ] in
     let slots = ref [] and time = ref [] in
     for k = 0 to cfg.seeds - 1 do
       let g = make (rng_for cfg k) in
-      let r = Dfs_sched.run ~policy g in
+      let r = Dfs_sched.run ~metrics:m ~policy g in
       slots := float_of_int (Schedule.num_slots r.Dfs_sched.schedule) :: !slots;
       time := float_of_int r.Dfs_sched.stats.Fdlsp_sim.Stats.rounds :: !time
     done;
@@ -649,8 +731,10 @@ let ablation cfg =
 
   Report.section "Ablation H: quasi-UDG robustness (n=150, inner=0.6, p=0.4)";
   let s =
-    measure_point cfg ~variant:Dist_mis.Gbg (fun rng ->
-        fst (Gen.qudg rng ~n:150 ~side:10. ~radius:1. ~inner:0.6 ~p:0.4))
+    measure_point cfg
+      ~labels:[ ("ablation", "H") ]
+      ~variant:Dist_mis.Gbg
+      (fun rng -> fst (Gen.qudg rng ~n:150 ~side:10. ~radius:1. ~inner:0.6 ~p:0.4))
   in
   print_string
     (Report.table
@@ -721,7 +805,7 @@ let stabilize cfg =
        "Self-stabilization sweep: reconvergence lag, repair locality and slot drift \
         vs corruption rate (%d seeds; blips over rounds 1..8)"
        cfg.seeds);
-  let rates = [ 0.05; 0.15; 0.3; 0.6 ] in
+  let rates = if cfg.smoke then [ 0.05; 0.3 ] else [ 0.05; 0.15; 0.3; 0.6 ] in
   let horizon = 8 in
   let families =
     [
@@ -735,6 +819,9 @@ let stabilize cfg =
       let rows =
         List.map
           (fun rate ->
+            let m =
+              msink cfg [ ("family", fam); ("rate", Printf.sprintf "%.2f" rate) ]
+            in
             let all_converged = ref true in
             let reports =
               List.init cfg.seeds (fun k ->
@@ -751,7 +838,7 @@ let stabilize cfg =
                       ()
                   in
                   let sched = (Dfs_sched.run g).Dfs_sched.schedule in
-                  let r = Stabilize.run ~faults g sched in
+                  let r = Stabilize.run ~faults ~metrics:m g sched in
                   if not r.Stabilize.converged then all_converged := false;
                   r)
             in
@@ -763,6 +850,9 @@ let stabilize cfg =
             let recolorings = mean (fun r -> r.Stabilize.recolorings) in
             let locality = mean (fun r -> r.Stabilize.recolored_arcs) in
             let drift = mean (fun r -> r.Stabilize.final_slots - r.Stabilize.initial_slots) in
+            Metrics.gauge m "fdlsp_bench_converged" (if !all_converged then 1. else 0.);
+            Metrics.gauge m "fdlsp_bench_stabilize_lag" lag;
+            Metrics.gauge m "fdlsp_bench_slot_drift" drift;
             if Buffer.length json_points > 0 then Buffer.add_char json_points ',';
             Buffer.add_string json_points
               (Printf.sprintf

@@ -1,10 +1,13 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 8) plus the repository's own ablations and
-   wall-clock timings.
+   wall-clock timings.  Each experiment records into its own metrics
+   registry; the snapshots are folded into one schema-versioned JSON
+   report (bench/schema.json describes the envelope).
 
      dune exec bench/main.exe                 # everything, default seeds
      dune exec bench/main.exe -- fig8 fig13   # selected experiments
-     dune exec bench/main.exe -- --seeds 75 all   # the paper's seed count *)
+     dune exec bench/main.exe -- --seeds 75 all   # the paper's seed count
+     dune exec bench/main.exe -- --smoke --out BENCH_fdlsp.json  # CI mode *)
 
 open Cmdliner
 
@@ -23,8 +26,16 @@ let experiments =
     ("phases", Experiments.phases);
     ("stabilize", Experiments.stabilize);
     ("ablation", Experiments.ablation);
-    ("timing", fun (_ : Experiments.config) -> Timing.run ());
+    ( "timing",
+      fun (cfg : Experiments.config) ->
+        Timing.run
+          ~quota:(if cfg.Experiments.smoke then 0.25 else 1.0)
+          ~metrics:(Fdlsp_sim.Metrics.sink cfg.Experiments.metrics)
+          () );
   ]
+
+(* Representative corner of the suite that CI can afford on every push. *)
+let smoke_experiments = [ "table1"; "fig8"; "fig13"; "faults"; "phases"; "stabilize"; "timing" ]
 
 let names_arg =
   let all = List.map fst experiments in
@@ -41,18 +52,43 @@ let full_arg =
   let doc = "Use the paper's 75 seeds per data point (slow)." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
-let run names seeds full =
-  let cfg = { Experiments.seeds = (if full then 75 else seeds); base_seed = 42 } in
-  let names = if List.mem "all" names then List.map fst experiments else names in
+let smoke_arg =
+  let doc =
+    "CI mode: cap seeds at 2, shrink every sweep to a representative corner, and run the \
+     smoke experiment subset when no experiment is named."
+  in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let out_arg =
+  let doc = "Write the canonical schema-versioned bench report to $(docv)." in
+  Arg.(value & opt string "BENCH_fdlsp.json" & info [ "out" ] ~docv:"FILE" ~doc)
+
+let run names seeds full smoke out =
+  let seeds = if full then 75 else if smoke then min seeds 2 else seeds in
+  let names =
+    if List.mem "all" names then
+      if smoke then smoke_experiments else List.map fst experiments
+    else names
+  in
   let unknown = List.filter (fun n -> not (List.mem_assoc n experiments)) names in
   match unknown with
   | u :: _ ->
       Printf.eprintf "unknown experiment %S\n" u;
       exit 1
   | [] ->
-      Printf.printf "fdlsp bench: %d seed(s) per data point\n" cfg.Experiments.seeds;
-      List.iter (fun n -> (List.assoc n experiments) cfg) names
+      Printf.printf "fdlsp bench: %d seed(s) per data point%s\n" seeds
+        (if smoke then " (smoke)" else "");
+      List.iter
+        (fun n ->
+          let reg = Fdlsp_sim.Metrics.create () in
+          let cfg = { Experiments.seeds; base_seed = 42; smoke; metrics = reg } in
+          (List.assoc n experiments) cfg;
+          Report.record ~name:n reg)
+        names;
+      Report.write ~out ~seeds ~smoke
 
 let () =
   let info = Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures" in
-  exit (Cmd.eval (Cmd.v info Term.(const run $ names_arg $ seeds_arg $ full_arg)))
+  exit
+    (Cmd.eval
+       (Cmd.v info Term.(const run $ names_arg $ seeds_arg $ full_arg $ smoke_arg $ out_arg)))

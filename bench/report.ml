@@ -41,3 +41,40 @@ let table ~header rows =
 
 let f1 x = Printf.sprintf "%.1f" x
 let section title = Printf.printf "\n== %s ==\n\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Canonical bench report                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every experiment records into its own metrics registry; the harness
+   folds the snapshots into one schema-versioned JSON document (see
+   bench/schema.json — CI fails when the two drift apart).  Human-readable
+   tables stay on stdout; this file is the machine-readable artifact. *)
+
+let schema = "fdlsp-bench"
+let schema_version = 1
+
+type entry = { name : string; metrics : Fdlsp_sim.Metrics.t }
+
+let entries : entry list ref = ref []
+
+let record ~name metrics = entries := { name; metrics } :: !entries
+
+let write ~out ~seeds ~smoke =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"schema":"%s","version":%d,"seeds":%d,"smoke":%b,"experiments":[|}
+       schema schema_version seeds smoke);
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|{"name":"%s","metrics":%s}|} e.name
+           (Fdlsp_sim.Metrics.to_json e.metrics)))
+    (List.rev !entries);
+  Buffer.add_string buf "]}\n";
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "\nbench report: %d experiment(s) -> %s\n" (List.length !entries) out

@@ -34,11 +34,11 @@ let tests () =
         ignore (Randomized.run ~rng:(Random.State.make [| 5 |]) udg));
   ]
 
-let run () =
+let run ?(quota = 1.0) ?(metrics = Fdlsp_sim.Metrics.null) () =
   Report.section "Timing: wall-clock per full algorithm run (Bechamel OLS estimate)";
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
   let grouped = Test.make_grouped ~name:"fdlsp" (tests ()) in
   let raw = Benchmark.all cfg instances grouped in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
@@ -51,7 +51,11 @@ let run () =
         (fun name result ->
           let cell =
             match Analyze.OLS.estimates result with
-            | Some [ est ] -> Printf.sprintf "%.3f ms/run" (est /. 1e6)
+            | Some [ est ] ->
+                Fdlsp_sim.Metrics.gauge
+                  (Fdlsp_sim.Metrics.with_label metrics "test" name)
+                  "fdlsp_bench_time_ms" (est /. 1e6);
+                Printf.sprintf "%.3f ms/run" (est /. 1e6)
             | _ -> "(no estimate)"
           in
           rows := [ name; cell ] :: !rows)

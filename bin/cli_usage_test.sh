@@ -47,6 +47,9 @@ expect_usage "zero blip horizon" "$cli" stabilize -g cycle:8 --blip-horizon=0
 expect_usage "zero rounds" "$cli" stabilize -g cycle:8 --rounds=0
 expect_usage "malformed rounds" "$cli" stabilize -g cycle:8 --rounds=ten
 expect_usage "trace malformed drop" "$cli" trace -g cycle:8 --drop=nope
+expect_usage "bad metrics format" "$cli" metrics -g cycle:8 --format=xml
+expect_usage "bad schedule metrics format" "$cli" schedule -g cycle:8 --metrics=yaml
+expect_usage "metrics malformed seed" "$cli" metrics -g cycle:8 --seed=abc
 
 if ! "$cli" schedule -g cycle:8 -o /dev/null; then
   echo "FAIL [good invocation]: non-zero exit" >&2
@@ -56,5 +59,35 @@ if ! "$cli" stabilize -g cycle:8 --seed 3 --blips 2 --blip-horizon 4 -o /dev/nul
   echo "FAIL [good stabilize]: non-zero exit" >&2
   fails=1
 fi
+for fmt in kv json prom; do
+  if ! "$cli" metrics -g cycle:8 -a distmis --format "$fmt" -o /dev/null; then
+    echo "FAIL [good metrics $fmt]: non-zero exit" >&2
+    fails=1
+  fi
+done
+if ! "$cli" schedule -g cycle:8 --metrics kv -o /dev/null; then
+  echo "FAIL [good schedule --metrics]: non-zero exit" >&2
+  fails=1
+fi
+# Same seeded run, dumped twice: apart from the wall-clock profiling
+# family (fdlsp_run_*), the kv exposition is stable, so the registries
+# behind every format of that run are value-identical.
+kv1=$("$cli" metrics -g cycle:8 -a distmis --seed 5 --format kv | grep -v '^fdlsp_run_')
+kv2=$("$cli" metrics -g cycle:8 -a distmis --seed 5 --format kv | grep -v '^fdlsp_run_')
+if [ "$kv1" != "$kv2" ]; then
+  echo "FAIL [metrics determinism]: kv dumps differ across identical runs" >&2
+  fails=1
+fi
+version=$("$cli" --version) || {
+  echo "FAIL [--version]: non-zero exit" >&2
+  fails=1
+}
+case "$version" in
+[0-9]*) ;;
+*)
+  echo "FAIL [--version]: unexpected output: $version" >&2
+  fails=1
+  ;;
+esac
 
 exit $fails

@@ -7,12 +7,14 @@
      dot       - graphviz export
      faults    - run a scheduler over a lossy/crashing network
      stabilize - corrupt a schedule in flight and reconverge
-     trace     - record / replay-check / summarize event traces *)
+     trace     - record / replay-check / summarize event traces
+     metrics   - run an algorithm and dump its metrics registry *)
 
 open Cmdliner
 open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_core
+module Metrics = Fdlsp_sim.Metrics
 
 (* --- shared argument parsing --------------------------------------- *)
 
@@ -201,31 +203,62 @@ let algo_conv =
       ("exact", Exact);
     ]
 
-let run_algo algo seed g =
+let run_algo ?(metrics = Metrics.null) algo seed g =
   let rng () = Random.State.make [| seed; 0xA5 |] in
-  match algo with
-  | Dist_gbg ->
-      let r = Dist_mis.run ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g in
-      (r.Dist_mis.schedule, Some r.Dist_mis.stats)
-  | Dist_general ->
-      let r = Dist_mis.run ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.General g in
-      (r.Dist_mis.schedule, Some r.Dist_mis.stats)
-  | Dist_gps ->
-      let r = Dist_mis.run ~mis:Mis.Gps ~variant:Dist_mis.Gbg g in
-      (r.Dist_mis.schedule, Some r.Dist_mis.stats)
-  | Dfs ->
-      let r = Dfs_sched.run g in
-      (r.Dfs_sched.schedule, Some r.Dfs_sched.stats)
-  | Dmgc ->
-      let r = Dmgc.run g in
-      (r.Dmgc.schedule, Some r.Dmgc.stats)
-  | Greedy_a -> (Greedy.color g, None)
-  | Random_a ->
-      let r = Randomized.run ~rng:(rng ()) g in
-      (r.Randomized.schedule, Some r.Randomized.stats)
-  | Exact ->
-      let r = Dsatur.fdlsp_optimal g in
-      (Schedule.of_colors g r.Dsatur.coloring, None)
+  Metrics.timed metrics "fdlsp_run" (fun () ->
+      match algo with
+      | Dist_gbg ->
+          let r = Dist_mis.run ~metrics ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g in
+          (r.Dist_mis.schedule, Some r.Dist_mis.stats)
+      | Dist_general ->
+          let r =
+            Dist_mis.run ~metrics ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.General g
+          in
+          (r.Dist_mis.schedule, Some r.Dist_mis.stats)
+      | Dist_gps ->
+          let r = Dist_mis.run ~metrics ~mis:Mis.Gps ~variant:Dist_mis.Gbg g in
+          (r.Dist_mis.schedule, Some r.Dist_mis.stats)
+      | Dfs ->
+          let r = Dfs_sched.run ~metrics g in
+          (r.Dfs_sched.schedule, Some r.Dfs_sched.stats)
+      | Dmgc ->
+          let r = Dmgc.run ~metrics g in
+          (r.Dmgc.schedule, Some r.Dmgc.stats)
+      | Greedy_a -> (Greedy.color g, None)
+      | Random_a ->
+          let r = Randomized.run ~rng:(rng ()) g in
+          (* sequential reference algorithm: stats are a model, so record
+             them directly like the other engine-less paths *)
+          Metrics.add_stats
+            (Metrics.with_label (Metrics.with_label metrics "algo" "randomized") "engine"
+               "model")
+            r.Randomized.stats;
+          (r.Randomized.schedule, Some r.Randomized.stats)
+      | Exact ->
+          let r = Dsatur.fdlsp_optimal g in
+          (Schedule.of_colors g r.Dsatur.coloring, None))
+
+(* Metrics export format.  A hand-rolled conv (not [Arg.enum]) so a bad
+   value dies through [die_usage] with exit 2 like every other argument
+   error. *)
+let metrics_format_conv =
+  let parse s =
+    match s with
+    | "kv" -> Ok `Kv
+    | "json" -> Ok `Json
+    | "prom" -> Ok `Prom
+    | _ -> die_usage (Printf.sprintf "--metrics format expects kv, json or prom, got %S" s)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (match f with `Kv -> "kv" | `Json -> "json" | `Prom -> "prom")
+  in
+  Arg.conv (parse, print)
+
+let metrics_dump fmt reg =
+  match fmt with
+  | `Kv -> Metrics.to_kv reg
+  | `Json -> Metrics.to_json reg ^ "\n"
+  | `Prom -> Metrics.to_prometheus reg
 
 let schedule_cmd =
   let algo =
@@ -243,10 +276,15 @@ let schedule_cmd =
     let doc = "Also write the schedule itself to $(docv) (see 'validate')." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
-  let run graph algo seed show out save verbose =
+  let metrics_fmt =
+    let doc = "Append the run's metrics registry in $(docv) format (kv | json | prom)." in
+    Arg.(value & opt (some metrics_format_conv) None & info [ "metrics" ] ~docv:"FMT" ~doc)
+  in
+  let run graph algo seed show out save metrics_fmt verbose =
     setup_logs verbose;
     let g = or_die graph in
-    let sched, stats = run_algo algo seed g in
+    let reg = Metrics.create () in
+    let sched, stats = run_algo ~metrics:(Metrics.sink reg) algo seed g in
     let sched = Schedule.normalize sched in
     (match save with None -> () | Some path -> Schedule.write_file path sched);
     let buf = Buffer.create 256 in
@@ -260,11 +298,16 @@ let schedule_cmd =
     | Some s -> Buffer.add_string buf (Format.asprintf "%a\n" Fdlsp_sim.Stats.pp_kv s)
     | None -> ());
     if show then Buffer.add_string buf (Format.asprintf "%a" Schedule.pp sched);
+    (match metrics_fmt with
+    | Some fmt -> Buffer.add_string buf (metrics_dump fmt reg)
+    | None -> ());
     emit out (Buffer.contents buf)
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run a TDMA link scheduling algorithm")
-    Term.(const run $ graph_source $ algo $ seed_arg $ show $ out_arg $ save $ verbose_arg)
+    Term.(
+      const run $ graph_source $ algo $ seed_arg $ show $ out_arg $ save $ metrics_fmt
+      $ verbose_arg)
 
 (* --- faults ----------------------------------------------------------- *)
 
@@ -710,6 +753,34 @@ let trace_cmd =
       const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
       $ blips_arg $ blip_horizon_arg $ replay $ summary $ json $ out_arg $ verbose_arg)
 
+(* --- metrics ----------------------------------------------------------- *)
+
+let metrics_cmd =
+  let algo =
+    let doc =
+      "Algorithm: distmis | distmis-general | distmis-gps | dfs | dmgc | greedy | \
+       randomized | exact."
+    in
+    Arg.(value & opt algo_conv Dfs & info [ "a"; "algo" ] ~doc)
+  in
+  let format =
+    let doc = "Export format: kv (stable key=value), json, or prom (Prometheus text)." in
+    Arg.(value & opt metrics_format_conv `Kv & info [ "f"; "format" ] ~docv:"FMT" ~doc)
+  in
+  let run graph algo seed format out verbose =
+    setup_logs verbose;
+    let g = or_die graph in
+    let reg = Metrics.create () in
+    let _sched, _stats = run_algo ~metrics:(Metrics.sink reg) algo seed g in
+    emit out (metrics_dump format reg)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a scheduling algorithm and print its metrics registry (counters, gauges, \
+          histograms and timelines) in kv, JSON or Prometheus format")
+    Term.(const run $ graph_source $ algo $ seed_arg $ format $ out_arg $ verbose_arg)
+
 (* --- bounds ----------------------------------------------------------- *)
 
 let bounds_cmd =
@@ -788,4 +859,5 @@ let () =
             faults_cmd;
             stabilize_cmd;
             trace_cmd;
+            metrics_cmd;
           ]))

@@ -159,8 +159,11 @@ let default_roots g =
   Array.to_list roots
 
 let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
-    ?(trace = Trace.null) g =
+    ?(trace = Trace.null) ?(metrics = Metrics.null) g =
   let roots = match roots with Some r -> r | None -> default_roots g in
+  let metrics =
+    Metrics.with_label (Metrics.with_label metrics "algo" "dfs") "phase" "dfs"
+  in
   if Trace.enabled trace then
     Trace.emit trace ~t:0. (Trace.Phase { label = "dfs"; scale = 1 });
   let init _ =
@@ -200,7 +203,7 @@ let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
     | None, _ -> None
   in
   let states, stats =
-    Async.run ~delay ?faults ?reliable ~weight ~trace g ~init ~starts
+    Async.run ~delay ?faults ?reliable ~weight ~trace ~metrics g ~init ~starts
       ~handler:(handler trace g policy)
   in
   let sched = Schedule.make g in
@@ -216,6 +219,13 @@ let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
   if not (Schedule.is_complete sched) then
     invalid_arg "Dfs_sched.run: incomplete schedule (missing component root?)";
   let token_moves = Array.fold_left (fun acc st -> acc + st.moves) 0 states in
+  if Metrics.enabled metrics then begin
+    Metrics.inc ~by:token_moves metrics Metrics.Name.token_moves;
+    Metrics.inc
+      ~by:(Array.fold_left (fun acc st -> acc + List.length st.assigned) 0 states)
+      metrics Metrics.Name.colors;
+    Metrics.gauge metrics Metrics.Name.slots (float_of_int (Schedule.num_slots sched))
+  end;
   Log.debug (fun m ->
       m "%d token moves, %d slots, %d async time units" token_moves
         (Schedule.num_slots sched) stats.Stats.rounds);

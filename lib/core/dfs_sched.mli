@@ -35,6 +35,7 @@ val run :
   ?reliable:Reliable.config ->
   ?roots:int list ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   Graph.t ->
   result
 (** [roots] designates one initiator per connected component (defaults
@@ -51,4 +52,9 @@ val run :
     channel events, and a [Color] decision (stamped with the token
     holder's local clock) for every arc the holder colors — enough for
     {!Fdlsp_sim.Trace.Replay} to re-validate the schedule and reconcile
-    the stats counters. *)
+    the stats counters.
+
+    [metrics] records the run under [algo=dfs], [phase=dfs] labels: the
+    asynchronous engine's counters (an exact view of the returned
+    [stats]), plus [token_moves] and [colors] counters and a final
+    [slots] gauge. *)

@@ -93,7 +93,8 @@ let halo g chosen =
   done;
   dist
 
-let color_phase ~engine ?(trace = Trace.null) g sched ~chosen ~outgoing_only =
+let color_phase ~engine ?(trace = Trace.null) ?(metrics = Metrics.null) g sched ~chosen
+    ~outgoing_only =
   let dist = halo g chosen in
   let own_table v =
     let out = ref [] in
@@ -138,8 +139,9 @@ let color_phase ~engine ?(trace = Trace.null) g sched ~chosen ~outgoing_only =
         end
         else (state, Sync.Halt [])
   in
-  let states, stats = engine.Reliable.run ~weight:Array.length g ~init ~step in
+  let states, stats = engine.Reliable.run ~weight:Array.length ~metrics g ~init ~step in
   let t_done = float_of_int stats.Stats.rounds in
+  let colored = ref 0 in
   Array.iteri
     (fun v s ->
       List.iter
@@ -147,18 +149,27 @@ let color_phase ~engine ?(trace = Trace.null) g sched ~chosen ~outgoing_only =
           if Schedule.is_colored sched a then
             invalid_arg "Dist_mis: simultaneous recoloring detected";
           Schedule.set sched a c;
+          incr colored;
           Trace.emit trace ~t:t_done (Trace.Color { node = v; arc = a; slot = c }))
         s.assigned)
     states;
+  Metrics.inc ~by:!colored metrics Metrics.Name.colors;
   stats
 
 (* --- the full algorithm ------------------------------------------- *)
 
-let run ?faults ?reliable ?engine ?(trace = Trace.null) ~mis ~variant g =
+let run ?faults ?reliable ?engine ?(trace = Trace.null) ?(metrics = Metrics.null) ~mis
+    ~variant g =
   let engine =
     match engine with
     | Some e -> e
     | None -> Reliable.runner ?faults ?config:reliable ~trace ()
+  in
+  let metrics =
+    Metrics.with_label
+      (Metrics.with_label metrics "algo" "distmis")
+      "variant"
+      (match variant with Gbg -> "gbg" | General -> "general")
   in
   let traced = Trace.enabled trace in
   let phase label scale = if traced then Trace.emit trace ~t:0. (Trace.Phase { label; scale }) in
@@ -170,10 +181,16 @@ let run ?faults ?reliable ?engine ?(trace = Trace.null) ~mis ~variant g =
   let outer = ref 0 and inner = ref 0 in
   let active = Array.make n true in
   let any arr = Array.exists Fun.id arr in
+  (* one sink per phase label: the engine stamps each run's counters
+     with it, so the registry carries the same per-phase breakdown the
+     trace summary derives after the fact *)
+  let m_mis = Metrics.with_label metrics "phase" "mis" in
+  let m_sec = Metrics.with_scale dist (Metrics.with_label metrics "phase" "secondary-mis") in
+  let m_color = Metrics.with_label metrics "phase" "color" in
   while any active do
     incr outer;
     phase "mis" 1;
-    let s, mis_stats = Mis.compute ~engine ~algo:mis g ~active in
+    let s, mis_stats = Mis.compute ~engine ~metrics:m_mis ~algo:mis g ~active in
     Log.debug (fun m ->
         m "outer %d: |S| = %d (%d rounds)" !outer
           (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s)
@@ -184,6 +201,10 @@ let run ?faults ?reliable ?engine ?(trace = Trace.null) ~mis ~variant g =
           if m then
             Trace.emit trace ~t:(float_of_int mis_stats.Stats.rounds) (Trace.Mis_join v))
         s;
+    if Metrics.enabled metrics then
+      Metrics.inc
+        ~by:(Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s)
+        m_mis Metrics.Name.mis_joins;
     stats := Stats.add !stats mis_stats;
     let remaining = Array.copy s in
     while any remaining do
@@ -191,12 +212,14 @@ let run ?faults ?reliable ?engine ?(trace = Trace.null) ~mis ~variant g =
       let vg, back = virtual_graph g remaining ~dist in
       let vactive = Array.make (Graph.n vg) true in
       phase "secondary-mis" dist;
-      let s_virtual, sec_stats = Mis.compute ~engine ~algo:mis vg ~active:vactive in
+      let s_virtual, sec_stats = Mis.compute ~engine ~metrics:m_sec ~algo:mis vg ~active:vactive in
       stats := Stats.add !stats (Stats.scale_rounds dist sec_stats);
       let chosen = Array.make n false in
       Array.iteri (fun i v -> if s_virtual.(i) then chosen.(v) <- true) back;
       phase "color" 1;
-      let phase_stats = color_phase ~engine ~trace g sched ~chosen ~outgoing_only in
+      let phase_stats =
+        color_phase ~engine ~trace ~metrics:m_color g sched ~chosen ~outgoing_only
+      in
       Log.debug (fun m ->
           m "inner %d: %d winners colored" !inner
             (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 chosen));
@@ -209,4 +232,9 @@ let run ?faults ?reliable ?engine ?(trace = Trace.null) ~mis ~variant g =
      take: every arc must be colored once each node has passed through a
      secondary MIS. *)
   assert (Schedule.is_complete sched || Graph.m g = 0);
+  if Metrics.enabled metrics then begin
+    Metrics.inc ~by:!outer metrics Metrics.Name.outer_iters;
+    Metrics.inc ~by:!inner metrics Metrics.Name.inner_iters;
+    Metrics.gauge metrics Metrics.Name.slots (float_of_int (Schedule.num_slots sched))
+  end;
   { schedule = sched; stats = !stats; outer_iters = !outer; inner_iters = !inner }

@@ -44,6 +44,7 @@ val run :
   ?reliable:Reliable.config ->
   ?engine:Reliable.sync_runner ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   mis:Mis.algo ->
   variant:variant ->
   Graph.t ->
@@ -73,4 +74,14 @@ val run :
     array order), while decisions always name real nodes and arcs.
     With an engine-backed [mis] (Luby or Local_min) the trace's
     accounting reconciles exactly with [stats]; GPS produces rounds the
-    engine never executes, so its traces carry decisions only. *)
+    engine never executes, so its traces carry decisions only.
+
+    [metrics] records the run in the registry under [algo=distmis] and
+    [variant=gbg|general] labels, with a [phase] label per engine use
+    mirroring the trace markers (["mis"], ["secondary-mis"] — whose
+    counter increments are pre-scaled by the relay distance, matching
+    the [Stats.scale_rounds] accounting — and ["color"]).  On top of the
+    engine counters it adds [mis_joins], [colors], [outer_iters] and
+    [inner_iters] counters and a final [slots] gauge.  Summing the
+    registry back with {!Fdlsp_sim.Metrics.to_stats} reproduces the
+    returned [stats] exactly for engine-backed MIS variants. *)

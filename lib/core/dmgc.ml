@@ -165,11 +165,22 @@ let two_hop_waves g =
     !waves
   end
 
-let run ?(trace = Trace.null) g =
+let run ?(trace = Trace.null) ?(metrics = Metrics.null) g =
+  let metrics =
+    List.fold_left
+      (fun m (k, v) -> Metrics.with_label m k v)
+      metrics
+      [ ("algo", "dmgc"); ("engine", "model"); ("phase", "dmgc") ]
+  in
   let m = Graph.m g in
   let sched = Schedule.make g in
-  if m = 0 then
+  if m = 0 then begin
+    (* record the (zero) stats anyway so the registry view stays exact *)
+    Metrics.add_stats metrics Stats.zero;
+    if Metrics.enabled metrics then
+      Metrics.gauge metrics Metrics.Name.slots 0.;
     { schedule = sched; stats = Stats.zero; base_colors = 0; injected_edges = 0 }
+  end
   else begin
     let col, vstats = Vizing.color g in
     let base_colors = 1 + Array.fold_left max (-1) col in
@@ -224,9 +235,15 @@ let run ?(trace = Trace.null) g =
             Trace.emit trace ~t:0.
               (Trace.Color { node = Arc.tail g a; arc = a; slot = c }))
     end;
-    ( { schedule = sched;
-        stats = Stats.make ~rounds ~messages ();
-        base_colors;
-        injected_edges = !injected }
-      : result )
+    let stats = Stats.make ~rounds ~messages () in
+    Metrics.add_stats metrics stats;
+    if Metrics.enabled metrics then begin
+      let colored = ref 0 in
+      Arc.iter g (fun a -> if Schedule.get sched a >= 0 then incr colored);
+      Metrics.inc ~by:!colored metrics Metrics.Name.colors;
+      Metrics.gauge metrics "fdlsp_base_colors" (float_of_int base_colors);
+      Metrics.gauge metrics "fdlsp_injected_edges" (float_of_int !injected);
+      Metrics.gauge metrics Metrics.Name.slots (float_of_int (Schedule.num_slots sched))
+    end;
+    ({ schedule = sched; stats; base_colors; injected_edges = !injected } : result)
   end

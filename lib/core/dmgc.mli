@@ -31,12 +31,18 @@ type result = {
   injected_edges : int;  (** edges deferred to injected colors *)
 }
 
-val run : ?trace:Fdlsp_sim.Trace.sink -> Graph.t -> result
+val run : ?trace:Fdlsp_sim.Trace.sink -> ?metrics:Metrics.sink -> Graph.t -> result
 (** [trace] records a decision-only trace: one ["dmgc"] phase marker and
     one [Color] event per arc of the finished schedule (attributed to
     the arc's tail), in arc-id order.  D-MGC's stats are a cost model
     rather than engine counters, so its traces carry no channel events
-    and do not reconcile against [stats]. *)
+    and do not reconcile against [stats].
+
+    [metrics] records the cost-model stats directly in the registry
+    under [algo=dmgc], [engine=model], [phase=dmgc] labels (so
+    {!Fdlsp_sim.Metrics.to_stats} stays an exact view of the returned
+    record), plus a [colors] counter and [fdlsp_base_colors],
+    [fdlsp_injected_edges] and [slots] gauges. *)
 
 val orient_class :
   Graph.t -> int list -> (int * int) list * int list

@@ -24,7 +24,7 @@ type msg =
                     joins, announces [Joined] and halts; [Retired]
                     announcements received here prune the competitor
                     lists before comparing. *)
-let compute_priority_based ~engine ~draw g ~active =
+let compute_priority_based ~engine ~metrics ~draw g ~active =
   let beats (p1, v1) (p2, v2) = p1 < p2 || (p1 = p2 && v1 < v2) in
   let init v =
     let undecided_nbrs =
@@ -70,18 +70,24 @@ let compute_priority_based ~engine ~draw g ~active =
       else (state, Sync.Continue [])
     end
   in
-  let states, stats = engine.Reliable.run g ~init ~step in
+  let states, stats = engine.Reliable.run ~metrics g ~init ~step in
   (Array.map (fun s -> s.status = In_mis) states, stats)
 
-let compute ?(engine = Reliable.raw_runner) ~algo g ~active =
+let compute ?(engine = Reliable.raw_runner) ?(metrics = Metrics.null) ~algo g ~active =
   match algo with
   | Luby rng ->
-      compute_priority_based ~engine ~draw:(fun _v -> Random.State.float rng 1.) g ~active
-  | Local_min -> compute_priority_based ~engine ~draw:(fun _v -> 0.) g ~active
+      compute_priority_based ~engine ~metrics
+        ~draw:(fun _v -> Random.State.float rng 1.)
+        g ~active
+  | Local_min -> compute_priority_based ~engine ~metrics ~draw:(fun _v -> 0.) g ~active
   | Gps ->
       if engine.Reliable.faulty then
         invalid_arg "Mis.compute: the GPS pipeline does not support fault injection";
-      Gps.mis g ~active
+      let mis, stats = Gps.mis g ~active in
+      (* the pipeline's stats are a cost model, not engine counters, so
+         record them directly to keep the registry an exact view *)
+      Metrics.add_stats (Metrics.with_label metrics "engine" "model") stats;
+      (mis, stats)
 
 let is_independent g mis =
   let ok = ref true in

@@ -22,6 +22,7 @@ type algo =
 
 val compute :
   ?engine:Reliable.sync_runner ->
+  ?metrics:Metrics.sink ->
   algo:algo ->
   Graph.t ->
   active:bool array ->
@@ -34,7 +35,12 @@ val compute :
     [engine] selects the synchronous channel (default: the raw
     fault-free engine); pass [Reliable.runner ~faults ()] to run the
     priority-based subroutines over a lossy channel.  The GPS pipeline
-    rejects faulty engines with [Invalid_argument]. *)
+    rejects faulty engines with [Invalid_argument].
+
+    [metrics] is forwarded to the engine run; the GPS pipeline, which
+    bypasses the engine, records its cost-model stats directly under an
+    [engine=model] label so [Metrics.to_stats] stays an exact view of
+    the returned record for every variant. *)
 
 val is_independent : Graph.t -> bool array -> bool
 (** No two members are adjacent. *)

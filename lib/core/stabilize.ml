@@ -34,8 +34,12 @@ type report = {
 
 let default_settle = 24
 
-let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null) ?rounds
-    ?(settle = default_settle) g sched0 =
+let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null)
+    ?(metrics = Metrics.null) ?rounds ?(settle = default_settle) g sched0 =
+  let metrics =
+    Metrics.with_label (Metrics.with_label metrics "algo" "stabilize") "phase" "stabilize"
+  in
+  let mtr = Metrics.enabled metrics in
   let n = Graph.n g in
   let narcs = Arc.count g in
   if Array.length (Schedule.colors sched0) <> narcs then
@@ -163,6 +167,11 @@ let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null) ?rounds
           incr recolors;
           recolored.(a) <- true;
           last_repair := max !last_repair round;
+          (* cumulative repair count over the round clock: the registry's
+             timeline of how fast the repair wave settles *)
+          if mtr then
+            Metrics.sample metrics Metrics.Name.recolor_activity ~x:(float_of_int round)
+              (float_of_int !recolors);
           Log.debug (fun m -> m "round %d: node %d recolored arc %d -> slot %d" round v a c');
           if traced then
             Trace.emit trace ~t:(float_of_int round) (Trace.Recolor { node = v; arc = a; slot = c' })
@@ -191,9 +200,19 @@ let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null) ?rounds
     | Some e -> e
     | None -> Reliable.runner ~faults ?config:reliable ~trace ()
   in
-  let _, stats = engine.Reliable.run ~blip:blip_hook ~weight:List.length g ~init ~step in
+  let _, stats =
+    engine.Reliable.run ~blip:blip_hook ~weight:List.length ~metrics g ~init ~step
+  in
   let schedule = Schedule.of_colors g mirror in
   let converged = Schedule.valid schedule in
+  if mtr then begin
+    Metrics.inc ~by:!detects metrics Metrics.Name.detects;
+    Metrics.inc ~by:!recolors metrics Metrics.Name.recolorings;
+    Metrics.inc ~by:!applied metrics "fdlsp_blips_applied_total";
+    Metrics.gauge metrics "fdlsp_initial_slots"
+      (float_of_int (Schedule.num_slots sched0));
+    Metrics.gauge metrics Metrics.Name.slots (float_of_int (Schedule.num_slots schedule))
+  end;
   let rounds_to_stabilize =
     if !applied = 0 || !last_repair < int_of_float (Float.ceil !last_blip) then 0
     else !last_repair - int_of_float (Float.ceil !last_blip) + 1

@@ -61,6 +61,7 @@ val run :
   ?reliable:Reliable.config ->
   ?engine:Reliable.sync_runner ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   ?rounds:int ->
   ?settle:int ->
   Graph.t ->
@@ -86,7 +87,14 @@ val run :
     When [trace] is enabled the run emits a ["stabilize"] phase marker,
     the initial coloring as [Color] events at t=0, and [Corrupt_state] /
     [Detect] / [Recolor] events as they happen — a trace
-    [Trace.Replay.check_stabilize] accepts. *)
+    [Trace.Replay.check_stabilize] accepts.
+
+    [metrics] records the run under [algo=stabilize], [phase=stabilize]
+    labels: the engine counters (an exact view of the returned [stats]),
+    [detects] / [recolorings] / [fdlsp_blips_applied_total] counters
+    matching the report fields, a [recolor_activity] timeline (the
+    cumulative recoloring count sampled at each repair's round), and
+    [fdlsp_initial_slots] / [slots] gauges. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Stable one-line [key=value] rendering. *)

@@ -227,7 +227,10 @@ type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 exception Too_many_events of int
 
 let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults ?corrupt
-    ?blip ?reliable ?(trace = Trace.null) g ~init ~starts ~handler =
+    ?blip ?reliable ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init ~starts
+    ~handler =
+  let metrics = Metrics.with_label metrics "engine" "async" in
+  let mtr = Metrics.enabled metrics in
   (match delay with
   | Uniform (_, lo, hi) when lo <= 0. || lo > hi -> invalid_arg bad_delay
   | _ -> ());
@@ -317,7 +320,12 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
   let deliver_user ~src ~dst payload =
     temit engine (Trace.Recv { src; dst });
     states.(dst) <- handler { engine; node = dst } states.(dst) ~sender:src payload;
-    engine.last_user <- engine.clock
+    engine.last_user <- engine.clock;
+    if mtr then
+      (* cumulative sends over the engine clock: the async analogue of
+         the sync engines' per-round message series *)
+      Metrics.sample metrics Metrics.Name.round_messages ~x:engine.clock
+        (float_of_int engine.sent)
   in
   let drop_crashed ~src ~dst =
     Fault.count_drop (Option.get session);
@@ -329,6 +337,9 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     if !events > max_events then raise (Too_many_events max_events);
     let time, _, ev = Heap.pop engine.heap in
     engine.clock <- time;
+    if mtr then
+      Metrics.observe metrics Metrics.Name.queue_depth
+        (float_of_int engine.heap.Heap.size);
     flush_boundaries engine time;
     apply_blips time;
     match ev with
@@ -400,8 +411,11 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     | None, None -> engine.clock  (* every event was a user delivery *)
     | _ -> engine.last_user
   in
-  ( states,
+  let stats =
     Stats.make
       ~rounds:(int_of_float (ceil finish))
       ~messages:engine.sent ~volume:engine.volume ~dropped ~duplicated
-      ~retransmits:engine.retransmits ~corruptions () )
+      ~retransmits:engine.retransmits ~corruptions ()
+  in
+  Metrics.add_stats metrics stats;
+  (states, stats)

@@ -41,6 +41,7 @@ val run :
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?reliable:Reliable.config ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   Graph.t ->
   init:(int -> 'state) ->
   starts:(int * ('msg ctx -> 'state -> 'state)) list ->
@@ -83,4 +84,13 @@ val run :
     ARQ retransmission ([Retransmit], reconciling with the
     [retransmits] counter), and plan crash/recovery boundary, stamped
     with the simulation clock.  Tracing never perturbs the event heap:
-    a traced run is event-for-event identical to an untraced one. *)
+    a traced run is event-for-event identical to an untraced one.
+
+    [metrics] (default {!Metrics.null}) records under an [engine=async]
+    label (unless the caller already set [engine], as {!Lockstep}
+    does): the returned stats via {!Metrics.add_stats} (so
+    [Metrics.to_stats] reproduces the returned record exactly), a
+    {!Metrics.Name.queue_depth} histogram observation per popped event,
+    and a {!Metrics.Name.round_messages} series point (cumulative sends
+    against the clock) per user-level delivery.  Like tracing, metrics
+    never perturb the event heap. *)

@@ -15,7 +15,9 @@ type ('state, 'msg) lnode = {
 }
 
 let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit) ?(blips = []) ?blip
-    ?(trace = Trace.null) g ~init ~step =
+    ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init ~step =
+  (* claim the engine label before Async.run applies its own default *)
+  let metrics = Metrics.with_label metrics "engine" "lockstep" in
   let n = Graph.n g in
   let nodes =
     Array.init n (fun v ->
@@ -136,7 +138,8 @@ let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit) ?(blips =
             nd.ustate <- f b nd.ustate)
   in
   let _, stats =
-    Async.run ?max_events ~delay ~weight:frame_weight ?faults ?blip:ablip ~trace g
+    Async.run ?max_events ~delay ~weight:frame_weight ?faults ?blip:ablip ~trace ~metrics
+      g
       ~init:(fun _ -> ())
       ~starts ~handler
   in
@@ -145,7 +148,7 @@ let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit) ?(blips =
 let runner ?delay ?(trace = Trace.null) ?(blips = []) () =
   {
     Reliable.run =
-      (fun ?max_rounds ?weight ?blip g ~init ~step ->
-        run_async ?max_rounds ?weight ?delay ~blips ?blip ~trace g ~init ~step);
+      (fun ?max_rounds ?weight ?blip ?metrics g ~init ~step ->
+        run_async ?max_rounds ?weight ?delay ~blips ?blip ~trace ?metrics g ~init ~step);
     faulty = false;
   }

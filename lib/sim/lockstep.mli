@@ -19,6 +19,7 @@ val run_async :
   ?blips:Fault.blip list ->
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) Sync.step ->
@@ -32,7 +33,12 @@ val run_async :
     [blips] + [blip] thread state corruptions through the asynchronous
     clock: each blip fires once the event clock crosses [b_at] and
     rewrites the victim's synchronizer-held protocol state (whatever
-    logical round it has reached), counted in [Stats.corruptions]. *)
+    logical round it has reached), counted in [Stats.corruptions].
+
+    [metrics] is forwarded to the asynchronous engine with the [engine]
+    label pre-set to [lockstep] (so the registry distinguishes the
+    synchronizer from a plain async run); the engine records its
+    returned stats, queue depths and cumulative-send series under it. *)
 
 val runner :
   ?delay:Async.delay ->

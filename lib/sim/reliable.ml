@@ -40,7 +40,9 @@ type ('state, 'msg) rnode = {
 }
 
 let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config = default)
-    ?blip ?(trace = Trace.null) g ~init ~step =
+    ?blip ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init ~step =
+  let metrics = Metrics.with_label metrics "engine" "reliable" in
+  let mtr = Metrics.enabled metrics in
   check_config config;
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
@@ -288,6 +290,7 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
       emit_boundaries (float_of_int !p)
     end;
     apply_blips (float_of_int !p);
+    let msgs_at_round_start = !messages in
     for v = 0 to n - 1 do
       process v
     done;
@@ -306,6 +309,14 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     for v = 0 to n - 1 do
       retransmit v
     done;
+    if mtr then begin
+      Metrics.sample metrics Metrics.Name.round_messages ~x:(float_of_int !p)
+        (float_of_int (!messages - msgs_at_round_start));
+      let unacked =
+        Array.fold_left (fun acc nd -> acc + Hashtbl.length nd.pending) 0 nodes
+      in
+      Metrics.observe metrics Metrics.Name.pending_frames (float_of_int unacked)
+    end;
     if traced then Trace.emit trace ~t:(float_of_int !p) (Trace.Round_end !p);
     let consumed = !cur in
     cur := !nxt;
@@ -313,10 +324,13 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     Array.fill consumed 0 n [];
     late := consumed
   done;
-  ( Array.map (fun nd -> nd.ustate) nodes,
+  let stats =
     Stats.make ~rounds:!p ~messages:!messages ~volume:!volume
       ~dropped:(Fault.dropped session) ~duplicated:(Fault.duplicated session)
-      ~retransmits:!retransmits ~corruptions:(Fault.corruptions session) () )
+      ~retransmits:!retransmits ~corruptions:(Fault.corruptions session) ()
+  in
+  Metrics.add_stats metrics stats;
+  (Array.map (fun nd -> nd.ustate) nodes, stats)
 
 type sync_runner = {
   run :
@@ -324,6 +338,7 @@ type sync_runner = {
     ?max_rounds:int ->
     ?weight:('msg -> int) ->
     ?blip:(Fault.blip -> 'state -> 'state) ->
+    ?metrics:Metrics.sink ->
     Graph.t ->
     init:(int -> 'state * bool) ->
     step:('state, 'msg) Sync.step ->
@@ -334,8 +349,8 @@ type sync_runner = {
 let raw_runner =
   {
     run =
-      (fun ?max_rounds ?weight ?blip:_ g ~init ~step ->
-        Sync.run ?max_rounds ?weight g ~init ~step);
+      (fun ?max_rounds ?weight ?blip:_ ?metrics g ~init ~step ->
+        Sync.run ?max_rounds ?weight ?metrics g ~init ~step);
     faulty = false;
   }
 
@@ -345,8 +360,8 @@ let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) () =
     else
       {
         run =
-          (fun ?max_rounds ?weight ?blip:_ g ~init ~step ->
-            Sync.run ?max_rounds ?weight ~trace g ~init ~step);
+          (fun ?max_rounds ?weight ?blip:_ ?metrics g ~init ~step ->
+            Sync.run ?max_rounds ?weight ~trace ?metrics g ~init ~step);
         faulty = false;
       }
   else if Fault.lossless faults then
@@ -354,14 +369,15 @@ let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) () =
        applies them without the ARQ layer's physical-round overhead *)
     {
       run =
-        (fun ?max_rounds ?weight ?blip g ~init ~step ->
-          Sync.run ?max_rounds ?weight ~faults ?blip ~trace g ~init ~step);
+        (fun ?max_rounds ?weight ?blip ?metrics g ~init ~step ->
+          Sync.run ?max_rounds ?weight ~faults ?blip ~trace ?metrics g ~init ~step);
       faulty = false;
     }
   else
     {
       run =
-        (fun ?max_rounds ?weight ?blip g ~init ~step ->
-          run_sync ?max_rounds ?weight ~faults ?config ?blip ~trace g ~init ~step);
+        (fun ?max_rounds ?weight ?blip ?metrics g ~init ~step ->
+          run_sync ?max_rounds ?weight ~faults ?config ?blip ~trace ?metrics g ~init
+            ~step);
       faulty = true;
     }

@@ -49,6 +49,7 @@ val run_sync :
   ?config:config ->
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) Sync.step ->
@@ -72,7 +73,13 @@ val run_sync :
     (blip times are physical rounds here); the corrupted state is
     whatever logical round the victim has reached, which is exactly the
     arbitrary-interleaving semantics self-stabilizing protocols must
-    survive. *)
+    survive.
+
+    [metrics] records under an [engine=reliable] label: the returned
+    {e physical} stats via {!Metrics.add_stats}, a
+    {!Metrics.Name.round_messages} series point per physical round, and
+    a {!Metrics.Name.pending_frames} histogram observation (total
+    unacked frames across nodes) per physical round. *)
 
 type sync_runner = {
   run :
@@ -80,6 +87,7 @@ type sync_runner = {
     ?max_rounds:int ->
     ?weight:('msg -> int) ->
     ?blip:(Fault.blip -> 'state -> 'state) ->
+    ?metrics:Metrics.sink ->
     Graph.t ->
     init:(int -> 'state * bool) ->
     step:('state, 'msg) Sync.step ->
@@ -89,7 +97,9 @@ type sync_runner = {
 }
 (** A first-class synchronous engine, so multi-phase algorithms
     (DistMIS and its MIS subroutines) can be parameterized over the
-    channel without touching their protocol logic. *)
+    channel without touching their protocol logic.  The per-call
+    [?metrics] sink lets a multi-phase caller hand each phase its own
+    labeled sink over a single engine value. *)
 
 val raw_runner : sync_runner
 (** {!Sync.run} itself. *)

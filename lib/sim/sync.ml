@@ -7,8 +7,10 @@ type ('state, 'msg) step =
 
 exception Did_not_terminate of int
 
-let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trace.null) g
-    ~init ~step =
+let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trace.null)
+    ?(metrics = Metrics.null) g ~init ~step =
+  let metrics = Metrics.with_label metrics "engine" "sync" in
+  let mtr = Metrics.enabled metrics in
   let n = Graph.n g in
   let max_rounds = match max_rounds with Some r -> r | None -> 10_000 + (100 * n) in
   let session =
@@ -119,6 +121,7 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
       emit_boundaries now
     end;
     apply_blips now;
+    let msgs_at_round_start = !messages in
     for v = 0 to n - 1 do
       if live.(v) then begin
         match session with
@@ -132,6 +135,9 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
         | _ ->
             (* deliver in sender order for determinism *)
             let inbox = List.sort compare !inboxes.(v) in
+            if mtr then
+              Metrics.observe metrics Metrics.Name.inbox_depth
+                (float_of_int (List.length inbox));
             if traced then
               List.iter
                 (fun (src, _) -> Trace.emit trace ~t:now (Trace.Recv { src; dst = v }))
@@ -157,6 +163,9 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
               outgoing
       end
     done;
+    if mtr then
+      Metrics.sample metrics Metrics.Name.round_messages ~x:now
+        (float_of_int (!messages - msgs_at_round_start));
     if traced then Trace.emit trace ~t:now (Trace.Round_end !rounds);
     (* rotate: next -> current, late -> next *)
     let consumed = !inboxes in
@@ -170,6 +179,9 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
     | None -> (0, 0, 0)
     | Some s -> (Fault.dropped s, Fault.duplicated s, Fault.corruptions s)
   in
-  ( states,
+  let stats =
     Stats.make ~rounds:!rounds ~messages:!messages ~volume:!volume ~dropped ~duplicated
-      ~corruptions () )
+      ~corruptions ()
+  in
+  Metrics.add_stats metrics stats;
+  (states, stats)

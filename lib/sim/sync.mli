@@ -27,6 +27,7 @@ val run :
   ?corrupt:('msg -> 'msg) ->
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) step ->
@@ -60,4 +61,12 @@ val run :
     round boundary, transmission, user-level delivery, counted loss,
     channel duplicate, and plan crash/recovery boundary, all stamped
     with the round number.  With the null sink the engine skips event
-    construction entirely. *)
+    construction entirely.
+
+    [metrics] (default {!Metrics.null}) receives, under an
+    [engine=sync] label (unless the caller already set [engine]): the
+    returned stats as the seven canonical counters (via
+    {!Metrics.add_stats}, so [Metrics.to_stats] reproduces the returned
+    record exactly), a {!Metrics.Name.round_messages} series point per
+    round, and a {!Metrics.Name.inbox_depth} histogram observation per
+    user-level delivery batch. *)

@@ -150,6 +150,7 @@ module Json = struct
     | Bool of bool
     | Num of float
     | Str of string
+    | Arr of t list
     | Obj of (string * t) list
 
   let parse s =
@@ -254,6 +255,28 @@ module Json = struct
       match peek () with
       | None -> fail "unexpected end of input"
       | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let value = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (value :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (value :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elems [])
+          end
       | Some '{' ->
           advance ();
           skip_ws ();
@@ -723,6 +746,30 @@ module Replay = struct
     if t.Summary.retransmits <> stats.Stats.retransmits then
       mismatch "retransmits" t.Summary.retransmits stats.Stats.retransmits
 
+  (* Registry cross-check: the metrics sink the run recorded through must
+     agree with the trace-derived totals on every channel counter.  Null
+     sinks pass vacuously; the sink's own labels scope the read so
+     several runs can share one registry. *)
+  let check_metrics (m : Metrics.sink) summary =
+    match Metrics.registry m with
+    | None -> ()
+    | Some reg ->
+        let t = Summary.totals summary in
+        let s = Metrics.to_stats ~labels:(Metrics.sink_labels m) reg in
+        let mismatch name traced recorded =
+          rejectf "metrics: %s from trace = %d but registry says %d" name traced recorded
+        in
+        if t.Summary.rounds <> s.Stats.rounds then
+          mismatch "rounds" t.Summary.rounds s.Stats.rounds;
+        if t.Summary.sends <> s.Stats.messages then
+          mismatch "messages" t.Summary.sends s.Stats.messages;
+        if t.Summary.drops <> s.Stats.dropped then
+          mismatch "dropped" t.Summary.drops s.Stats.dropped;
+        if t.Summary.duplicates <> s.Stats.duplicated then
+          mismatch "duplicated" t.Summary.duplicates s.Stats.duplicated;
+        if t.Summary.retransmits <> s.Stats.retransmits then
+          mismatch "retransmits" t.Summary.retransmits s.Stats.retransmits
+
   let check_crashes plan evs =
     let crash_list = Fault.crashes plan in
     let s = Fault.start plan in
@@ -760,7 +807,7 @@ module Replay = struct
         | _ -> ())
       evs
 
-  let check ?plan ?stats ?(require_complete = false) g evs =
+  let check ?plan ?stats ?metrics ?(require_complete = false) g evs =
     let module S = Fdlsp_color.Schedule in
     try
       let sched, colors = check_decisions g evs in
@@ -774,6 +821,7 @@ module Replay = struct
          rejectf "rebuilt partial schedule has a conflict");
       let summary = Summary.of_events evs in
       Option.iter (fun s -> check_accounting s summary) stats;
+      Option.iter (fun m -> check_metrics m summary) metrics;
       Option.iter (fun p -> check_crashes p evs) plan;
       let totals = Summary.totals summary in
       Ok
@@ -807,7 +855,7 @@ module Replay = struct
      planned blip, mirroring [check_crashes].  The stabilization lag is
      derived from timestamps alone (no [Round_end] dependency), so
      asynchronous traces verify with the same code path. *)
-  let check_stabilize ?plan ?(require_converged = true) g evs =
+  let check_stabilize ?plan ?metrics ?(require_converged = true) g evs =
     let module S = Fdlsp_color.Schedule in
     let narcs = Arc.count g in
     try
@@ -887,6 +935,22 @@ module Replay = struct
           + 1
       in
       let distinct = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 recolored in
+      (* repair counters must agree with the registry snapshot; blip
+         counts are excluded because a Flip_slot on a node without
+         out-arcs is applied (and counted) without a trace event *)
+      (match Option.map (fun m -> (m, Metrics.registry m)) metrics with
+      | Some (m, Some reg) ->
+          let labels = Metrics.sink_labels m in
+          let mismatch name traced recorded =
+            rejectf "metrics: %s from trace = %d but registry says %d" name traced
+              recorded
+          in
+          let v name = Metrics.counter_value ~labels reg name in
+          if !detects <> v Metrics.Name.detects then
+            mismatch "detects" !detects (v Metrics.Name.detects);
+          if !recolors <> v Metrics.Name.recolorings then
+            mismatch "recolorings" !recolors (v Metrics.Name.recolorings)
+      | _ -> ());
       Ok
         {
           s_events = Array.length evs;

@@ -96,16 +96,18 @@ val event_to_json : timed -> string
 val event_of_json : string -> timed
 (** Raises [Failure] on malformed input or an unknown event shape. *)
 
-(** Minimal strict JSON reader used by the trace format (objects,
-    strings, numbers, booleans, null — arrays are not needed).  Exposed
-    so tests and tools can parse the repository's JSON output without an
-    external dependency. *)
+(** Minimal strict JSON reader used by the trace format and the metrics
+    exports (objects, arrays, strings, numbers, booleans, null).
+    Exposed so tests and tools can parse the repository's JSON output —
+    including {!Metrics.to_json} documents — without an external
+    dependency. *)
 module Json : sig
   type t =
     | Null
     | Bool of bool
     | Num of float
     | Str of string
+    | Arr of t list
     | Obj of (string * t) list
 
   val parse : string -> t
@@ -216,12 +218,21 @@ module Replay : sig
   val check :
     ?plan:Fault.plan ->
     ?stats:Stats.t ->
+    ?metrics:Metrics.sink ->
     ?require_complete:bool ->
     Graph.t ->
     timed array ->
     (report, string) result
   (** [require_complete] (default [false]) additionally demands that the
-      decisions color every arc of [g]. *)
+      decisions color every arc of [g].
+
+      [metrics] cross-checks the trace against the registry the run
+      recorded through: the scale-weighted trace totals (rounds, sends,
+      drops, duplicates, retransmits) must equal
+      [Metrics.to_stats ~labels:(Metrics.sink_labels m)] read from the
+      sink's registry — any divergence (e.g. a tampered registry) is
+      rejected like an accounting mismatch.  A [Metrics.null] sink
+      passes vacuously. *)
 
   type stabilize_report = {
     s_events : int;
@@ -238,6 +249,7 @@ module Replay : sig
 
   val check_stabilize :
     ?plan:Fault.plan ->
+    ?metrics:Metrics.sink ->
     ?require_converged:bool ->
     Graph.t ->
     timed array ->
@@ -253,5 +265,9 @@ module Replay : sig
       (default [true]) a non-valid final schedule is an error rather
       than a report).  The stabilization lag is computed from event
       timestamps alone, so traces from either engine verify with the
-      same code path. *)
+      same code path.
+
+      [metrics] additionally requires the trace's {!Detect} and
+      {!Recolor} counts to equal the [detects] / [recolorings] counters
+      read from the sink's registry under the sink's labels. *)
 end
