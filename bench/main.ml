@@ -30,6 +30,7 @@ let experiments =
       fun (cfg : Experiments.config) ->
         Timing.run
           ~quota:(if cfg.Experiments.smoke then 0.25 else 1.0)
+          ~smoke:cfg.Experiments.smoke
           ~metrics:(Fdlsp_sim.Metrics.sink cfg.Experiments.metrics)
           () );
   ]

@@ -1,10 +1,11 @@
 open Fdlsp_graph
 
-let upper g =
-  if Graph.m g = 0 then 0
-  else
-    let d = Graph.max_degree g in
-    2 * d * d
+(* Lemma 6 in two guises: the conflict degree of any arc is at most
+   2Δ² - 1 (Conflict.degree_bound), so first-fit on the conflict graph
+   needs at most one more color than that.  Delegating keeps the two
+   statements in lockstep; an edgeless graph has degree_bound -1, hence
+   upper 0. *)
+let upper g = Conflict.degree_bound g + 1
 
 let cluster_size g v w = Clique.triangles_on_edge g v w
 

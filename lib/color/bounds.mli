@@ -13,7 +13,9 @@
 open Fdlsp_graph
 
 val upper : Graph.t -> int
-(** [2 Δ²]; 0 for an edgeless graph. *)
+(** [2 Δ²]; 0 for an edgeless graph.  Always
+    [Conflict.degree_bound g + 1]: greedy coloring needs at most one
+    color more than the maximum conflict degree. *)
 
 val cluster_size : Graph.t -> int -> int -> int
 (** [cluster_size g v w] is the size of the cluster of center [v] with

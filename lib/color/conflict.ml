@@ -8,37 +8,137 @@ let conflict g a b =
   ta = tb || ta = hb || ha = tb || ha = hb
   || Graph.mem_edge g ha tb || Graph.mem_edge g hb ta
 
+(* Reusable dedup state for the conflict enumeration: one int cell per
+   arc, stamped with a generation counter.  Bumping the generation
+   invalidates every stamp in O(1), so a scratch amortizes to zero
+   clearing cost across arcs; the rare counter wrap falls back to a
+   linear refill. *)
+type scratch = { stamp : int array; mutable gen : int }
+
+let scratch g = { stamp = Array.make (Arc.count g) 0; gen = 0 }
+
 (* Arcs conflicting with a = (u, v):
    - arcs incident on u or on v (shared endpoint, and the hidden-terminal
      pairs whose other arc touches u or v);
    - arcs whose tail is a neighbor of v (v = head of a would hear them);
    - arcs whose head is a neighbor of u (that head would hear u).
    Each candidate is at hop distance <= 2 of the edge, so we enumerate
-   the 2-neighborhood and deduplicate with a stamp array. *)
-let iter_conflicting g a f =
-  let u = Arc.tail g a and v = Arc.head g a in
-  let seen = Hashtbl.create 64 in
+   the 2-neighborhood and deduplicate with the generation-stamped
+   scratch — no per-call allocation beyond the closures below. *)
+let iter_stamped s g a f =
+  if s.gen = max_int then begin
+    Array.fill s.stamp 0 (Array.length s.stamp) 0;
+    s.gen <- 0
+  end;
+  s.gen <- s.gen + 1;
+  let gen = s.gen and stamp = s.stamp in
+  (* stamping [a] up front excludes it from the emission *)
+  stamp.(a) <- gen;
   let emit b =
-    if b <> a && not (Hashtbl.mem seen b) then begin
-      Hashtbl.replace seen b ();
+    if stamp.(b) <> gen then begin
+      stamp.(b) <- gen;
       f b
     end
   in
+  let u = Arc.tail g a and v = Arc.head g a in
   Arc.iter_incident g u emit;
   Arc.iter_incident g v emit;
   Graph.iter_neighbors g v (fun w -> Arc.iter_out g w emit);
   Graph.iter_neighbors g u (fun w -> Arc.iter_in g w emit)
 
-let conflicting g a =
+let iter_conflicting ?scratch:sc g a f =
+  let s =
+    match sc with
+    | Some s ->
+        if Array.length s.stamp <> Arc.count g then
+          invalid_arg "Conflict.iter_conflicting: scratch built over a different graph";
+        s
+    | None -> scratch g
+  in
+  iter_stamped s g a f
+
+let conflicting ?scratch g a =
   let out = ref [] in
-  iter_conflicting g a (fun b -> out := b :: !out);
+  iter_conflicting ?scratch g a (fun b -> out := b :: !out);
   List.sort compare !out
 
 let degree_bound g =
   let d = Graph.max_degree g in
   (2 * d * d) - 1
 
+(* In-place ascending sort of nb.(lo .. hi-1): quicksort with a
+   median-of-three pivot, insertion sort below 16 elements.  Plain int
+   comparisons — no polymorphic compare, no spare array. *)
+let rec sort_range nb lo hi =
+  let len = hi - lo in
+  if len <= 16 then
+    for i = lo + 1 to hi - 1 do
+      let x = nb.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && nb.(!j) > x do
+        nb.(!j + 1) <- nb.(!j);
+        decr j
+      done;
+      nb.(!j + 1) <- x
+    done
+  else begin
+    let p =
+      let x = nb.(lo) and y = nb.(lo + (len / 2)) and z = nb.(hi - 1) in
+      max (min x y) (min (max x y) z)
+    in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while nb.(!i) < p do
+        incr i
+      done;
+      while nb.(!j) > p do
+        decr j
+      done;
+      if !i <= !j then begin
+        let t = nb.(!i) in
+        nb.(!i) <- nb.(!j);
+        nb.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range nb lo (!j + 1);
+    sort_range nb !i hi
+  end
+
+(* Counted two-pass CSR construction: pass 1 sizes every arc's
+   strictly-upper conflict row, pass 2 fills and sorts the rows in
+   place.  Rows grouped by ascending arc with each row ascending make
+   the edge array canonical, lexicographically sorted and
+   duplicate-free by construction, so it goes straight into the trusted
+   Graph constructor — no tuple list, no validation, no re-sort. *)
 let conflict_graph g =
-  let edges = ref [] in
-  Arc.iter g (fun a -> iter_conflicting g a (fun b -> if a < b then edges := (a, b) :: !edges));
-  Graph.create ~n:(Arc.count g) !edges
+  let narcs = Arc.count g in
+  let s = scratch g in
+  let off = Array.make (narcs + 1) 0 in
+  for a = 0 to narcs - 1 do
+    let c = ref 0 in
+    iter_stamped s g a (fun b -> if b > a then incr c);
+    off.(a + 1) <- !c
+  done;
+  for a = 0 to narcs - 1 do
+    off.(a + 1) <- off.(a) + off.(a + 1)
+  done;
+  let m' = off.(narcs) in
+  let nb = Array.make m' 0 in
+  for a = 0 to narcs - 1 do
+    let k = ref off.(a) in
+    iter_stamped s g a (fun b ->
+        if b > a then begin
+          nb.(!k) <- b;
+          incr k
+        end);
+    sort_range nb off.(a) off.(a + 1)
+  done;
+  let edges = Array.make m' (0, 0) in
+  for a = 0 to narcs - 1 do
+    for i = off.(a) to off.(a + 1) - 1 do
+      edges.(i) <- (a, nb.(i))
+    done
+  done;
+  Graph.of_sorted_edges_unchecked ~n:narcs edges

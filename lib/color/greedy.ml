@@ -1,9 +1,9 @@
 open Fdlsp_graph
 
-let first_free sched a =
+let first_free ?scratch sched a =
   let g = Schedule.graph sched in
   let used = ref [] in
-  Conflict.iter_conflicting g a (fun b ->
+  Conflict.iter_conflicting ?scratch g a (fun b ->
       let c = Schedule.get sched b in
       if c >= 0 then used := c :: !used);
   let used = List.sort_uniq compare !used in
@@ -14,10 +14,17 @@ let first_free sched a =
   in
   scan 0 used
 
-let color_arc sched a = Schedule.set sched a (first_free sched a)
+let color_arc ?scratch sched a = Schedule.set sched a (first_free ?scratch sched a)
 
-let extend sched arcs =
-  List.iter (fun a -> if not (Schedule.is_colored sched a) then color_arc sched a) arcs
+let extend ?scratch sched arcs =
+  let scratch =
+    match scratch with
+    | Some s -> s
+    | None -> Conflict.scratch (Schedule.graph sched)
+  in
+  List.iter
+    (fun a -> if not (Schedule.is_colored sched a) then color_arc ~scratch sched a)
+    arcs
 
 type order = By_id | By_degree | Shuffled of Random.State.t
 

@@ -4,15 +4,17 @@
 
 open Fdlsp_graph
 
-val first_free : Schedule.t -> Arc.id -> int
+val first_free : ?scratch:Conflict.scratch -> Schedule.t -> Arc.id -> int
 (** Smallest color not used by any colored arc conflicting with the
-    argument. *)
+    argument.  [?scratch] (built over the schedule's graph) amortizes
+    the conflict enumeration across calls. *)
 
-val color_arc : Schedule.t -> Arc.id -> unit
+val color_arc : ?scratch:Conflict.scratch -> Schedule.t -> Arc.id -> unit
 (** First-fit one arc (overwrites any previous color of that arc). *)
 
-val extend : Schedule.t -> Arc.id list -> unit
-(** First-fit the given arcs in order, skipping already-colored ones. *)
+val extend : ?scratch:Conflict.scratch -> Schedule.t -> Arc.id list -> unit
+(** First-fit the given arcs in order, skipping already-colored ones.
+    Allocates one shared scratch when none is supplied. *)
 
 type order =
   | By_id  (** arc id order *)

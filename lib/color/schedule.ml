@@ -38,10 +38,11 @@ let pp_violation g ppf = function
 
 let find_clash t =
   let exception Found of violation in
+  let scratch = Conflict.scratch t.graph in
   try
     Arc.iter t.graph (fun a ->
         if t.colors.(a) >= 0 then
-          Conflict.iter_conflicting t.graph a (fun b ->
+          Conflict.iter_conflicting ~scratch t.graph a (fun b ->
               if b > a && t.colors.(b) = t.colors.(a) then raise (Found (Clash (a, b)))));
     None
   with Found v -> Some v

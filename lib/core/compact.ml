@@ -3,10 +3,10 @@ open Fdlsp_color
 
 (* Try to move arc [a] to some color in [palette] (excluding its own),
    respecting all conflicts in [sched].  Returns true on success. *)
-let rehome g sched palette a =
+let rehome ~scratch g sched palette a =
   let current = Schedule.get sched a in
   let forbidden = Hashtbl.create 16 in
-  Conflict.iter_conflicting g a (fun b ->
+  Conflict.iter_conflicting ~scratch g a (fun b ->
       let c = Schedule.get sched b in
       if c >= 0 then Hashtbl.replace forbidden c ());
   let target =
@@ -19,10 +19,10 @@ let rehome g sched palette a =
   | None -> false
 
 (* Attempt to dissolve one slot entirely; rolls back on failure. *)
-let dissolve g sched victim arcs palette =
+let dissolve ~scratch g sched victim arcs palette =
   let rest = List.filter (fun c -> c <> victim) palette in
   let snapshot = Schedule.copy sched in
-  let ok = List.for_all (fun a -> rehome g sched rest a) arcs in
+  let ok = List.for_all (fun a -> rehome ~scratch g sched rest a) arcs in
   if not ok then Arc.iter g (fun a -> Schedule.set sched a (Schedule.get snapshot a));
   ok
 
@@ -30,6 +30,7 @@ let compact input =
   if not (Schedule.valid input) then invalid_arg "Compact.compact: invalid schedule";
   let g = Schedule.graph input in
   let sched = Schedule.copy input in
+  let scratch = Conflict.scratch g in
   let improved = ref true in
   while !improved do
     improved := false;
@@ -42,7 +43,9 @@ let compact input =
         List.sort (fun (_, a) (_, b) -> compare (List.length a) (List.length b)) classes
       in
       improved :=
-        List.exists (fun (victim, arcs) -> dissolve g sched victim arcs palette) ordered
+        List.exists
+          (fun (victim, arcs) -> dissolve ~scratch g sched victim arcs palette)
+          ordered
     end
   done;
   assert (Schedule.valid sched);
@@ -53,14 +56,14 @@ let compact input =
    edges.  Swapping c1 and c2 inside a component preserves validity:
    any outside arc of either color conflicting with the component would
    itself belong to it. *)
-let kempe_component g sched a c1 c2 =
+let kempe_component ~scratch g sched a c1 c2 =
   let seen = Hashtbl.create 16 in
   let q = Queue.create () in
   Hashtbl.replace seen a ();
   Queue.add a q;
   while not (Queue.is_empty q) do
     let x = Queue.pop q in
-    Conflict.iter_conflicting g x (fun b ->
+    Conflict.iter_conflicting ~scratch g x (fun b ->
         let cb = Schedule.get sched b in
         if (cb = c1 || cb = c2) && not (Hashtbl.mem seen b) then begin
           Hashtbl.replace seen b ();
@@ -81,7 +84,7 @@ let swap_component sched component c1 c2 =
    victim class shrinks iff the component holds strictly more victim
    arcs than [c2] arcs.  [kempe_shrink] performs one such strictly
    shrinking swap if any exists. *)
-let kempe_shrink g sched palette victim =
+let kempe_shrink ~scratch g sched palette victim =
   let victims =
     List.filter (fun a -> Schedule.get sched a = victim)
       (List.init (Arc.count g) Fun.id)
@@ -89,7 +92,7 @@ let kempe_shrink g sched palette victim =
   let try_pair a c2 =
     c2 <> victim
     &&
-    let component = kempe_component g sched a victim c2 in
+    let component = kempe_component ~scratch g sched a victim c2 in
     let leave = ref 0 and enter = ref 0 in
     Hashtbl.iter
       (fun b () -> if Schedule.get sched b = victim then incr leave else incr enter)
@@ -102,7 +105,7 @@ let kempe_shrink g sched palette victim =
   in
   List.exists (fun a -> List.exists (try_pair a) palette) victims
 
-let dissolve_kempe g sched victim palette =
+let dissolve_kempe ~scratch g sched victim palette =
   let rest = List.filter (fun c -> c <> victim) palette in
   let snapshot = Schedule.copy sched in
   (* Each step empties the victim class a little: a direct rehome moves
@@ -117,8 +120,8 @@ let dissolve_kempe g sched victim palette =
     match stragglers with
     | [] -> true
     | arcs ->
-        let direct = List.exists (fun a -> rehome g sched rest a) arcs in
-        if direct || kempe_shrink g sched rest victim then drain () else false
+        let direct = List.exists (fun a -> rehome ~scratch g sched rest a) arcs in
+        if direct || kempe_shrink ~scratch g sched rest victim then drain () else false
   in
   let ok = drain () in
   if not ok then Arc.iter g (fun a -> Schedule.set sched a (Schedule.get snapshot a));
@@ -128,6 +131,7 @@ let kempe input =
   if not (Schedule.valid input) then invalid_arg "Compact.kempe: invalid schedule";
   let g = Schedule.graph input in
   let sched = Schedule.copy input in
+  let scratch = Conflict.scratch g in
   let improved = ref true in
   while !improved do
     improved := false;
@@ -138,7 +142,7 @@ let kempe input =
         List.sort (fun (_, a) (_, b) -> compare (List.length a) (List.length b)) classes
       in
       improved :=
-        List.exists (fun (victim, _) -> dissolve_kempe g sched victim palette) ordered
+        List.exists (fun (victim, _) -> dissolve_kempe ~scratch g sched victim palette) ordered
     end
   done;
   assert (Schedule.valid sched);

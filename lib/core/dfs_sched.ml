@@ -50,12 +50,12 @@ let mark_visited st w = if not (List.mem w st.visited_nbrs) then st.visited_nbrs
 
 (* Greedy first-fit for the token holder's uncolored incident arcs,
    using only the gathered distance-2 knowledge. *)
-let color_own trace ~t g st v =
+let color_own ~scratch trace ~t g st v =
   let fresh = ref [] in
   Arc.iter_incident g v (fun a ->
       if not (Hashtbl.mem st.gather a) then begin
         let forbidden = Hashtbl.create 16 in
-        Conflict.iter_conflicting g a (fun b ->
+        Conflict.iter_conflicting ~scratch g a (fun b ->
             match Hashtbl.find_opt st.gather b with
             | Some c -> Hashtbl.replace forbidden c ()
             | None -> ());
@@ -104,9 +104,9 @@ let start_visit ctx st parent =
   if st.pending_replies = 0 then ()
   else Array.iter (fun w -> Async.send ctx w Query) nbrs
 
-let finish_coloring trace g policy ctx st =
+let finish_coloring ~scratch trace g policy ctx st =
   let v = Async.self ctx in
-  let fresh = color_own trace ~t:(Async.now ctx) g st v in
+  let fresh = color_own ~scratch trace ~t:(Async.now ctx) g st v in
   let nbrs = Async.neighbors ctx in
   if Array.length nbrs = 0 then ()
   else begin
@@ -116,7 +116,7 @@ let finish_coloring trace g policy ctx st =
   end;
   if st.pending_acks = 0 then pass_token g policy ctx st
 
-let handler trace g policy ctx st ~sender msg =
+let handler ~scratch trace g policy ctx st ~sender msg =
   (match msg with
   | Token ->
       if st.parent >= 0 then
@@ -135,7 +135,7 @@ let handler trace g policy ctx st ~sender msg =
       merge st.gather table;
       merge_relevant g (Async.self ctx) st.known table;
       st.pending_replies <- st.pending_replies - 1;
-      if st.pending_replies = 0 then finish_coloring trace g policy ctx st
+      if st.pending_replies = 0 then finish_coloring ~scratch trace g policy ctx st
   | Announce table ->
       mark_visited st sender;
       merge_relevant g (Async.self ctx) st.known table;
@@ -202,9 +202,10 @@ let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
     | None, Some p when not (Fault.is_none p) -> Some Reliable.default
     | None, _ -> None
   in
+  let scratch = Conflict.scratch g in
   let states, stats =
     Async.run ~delay ?faults ?reliable ~weight ~trace ~metrics g ~init ~starts
-      ~handler:(handler trace g policy)
+      ~handler:(handler ~scratch trace g policy)
   in
   let sched = Schedule.make g in
   Array.iter

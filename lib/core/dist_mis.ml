@@ -50,13 +50,13 @@ type phase_state = {
 
 (* Colors the given arcs greedily against [known], updating [known] as
    it goes so a node's own simultaneous picks stay consistent. *)
-let greedy_assign g known arcs =
+let greedy_assign ~scratch g known arcs =
   List.filter_map
     (fun a ->
       if Hashtbl.mem known a then None
       else begin
         let forbidden = Hashtbl.create 16 in
-        Conflict.iter_conflicting g a (fun b ->
+        Conflict.iter_conflicting ~scratch g a (fun b ->
             match Hashtbl.find_opt known b with
             | Some c -> Hashtbl.replace forbidden c ()
             | None -> ());
@@ -96,6 +96,7 @@ let halo g chosen =
 let color_phase ~engine ?(trace = Trace.null) ?(metrics = Metrics.null) g sched ~chosen
     ~outgoing_only =
   let dist = halo g chosen in
+  let scratch = Conflict.scratch g in
   let own_table v =
     let out = ref [] in
     Arc.iter_incident g v (fun a ->
@@ -132,7 +133,7 @@ let color_phase ~engine ?(trace = Trace.null) ?(metrics = Metrics.null) g sched 
           let targets = ref [] in
           if outgoing_only then Arc.iter_out g v (fun a -> targets := a :: !targets)
           else Arc.iter_incident g v (fun a -> targets := a :: !targets);
-          state.assigned <- greedy_assign g state.known (List.rev !targets);
+          state.assigned <- greedy_assign ~scratch g state.known (List.rev !targets);
           (* the announce broadcast of the assignment *)
           ( state,
             Sync.Halt (send_to g v (Array.of_list state.assigned) ~keep:(fun _ -> true)) )

@@ -188,6 +188,7 @@ let run ?(trace = Trace.null) ?(metrics = Metrics.null) g =
     Array.iteri (fun e c -> classes.(c) <- e :: classes.(c)) col;
     let injected = ref 0 in
     let orientation_rounds = ref 0 in
+    let scratch = Conflict.scratch g in
     Array.iteri
       (fun c class_edges ->
         let assigned, deferred = orient_class g class_edges in
@@ -205,7 +206,7 @@ let run ?(trace = Trace.null) ?(metrics = Metrics.null) g =
               (fun d ->
                 let a = Arc.of_edge ~edge:e ~dir:d in
                 let forbidden = Hashtbl.create 16 in
-                Conflict.iter_conflicting g a (fun b ->
+                Conflict.iter_conflicting ~scratch g a (fun b ->
                     let cb = Schedule.get sched b in
                     if cb >= 0 then Hashtbl.replace forbidden cb ());
                 let rec first c = if Hashtbl.mem forbidden c then first (c + 1) else c in

@@ -27,10 +27,11 @@ let is_valid g t =
   && Array.length t.slot = Arc.count g
   &&
   let ok = ref true in
+  let scratch = Conflict.scratch g in
   Arc.iter g (fun a ->
       if t.frequency.(a) < 0 || t.frequency.(a) >= t.channels then ok := false;
       if t.slot.(a) < 0 || t.slot.(a) >= t.frame_length then ok := false;
-      Conflict.iter_conflicting g a (fun b ->
+      Conflict.iter_conflicting ~scratch g a (fun b ->
           if b > a && t.frequency.(a) = t.frequency.(b) && t.slot.(a) = t.slot.(b) then
             ok := false));
   !ok

@@ -37,12 +37,12 @@ let halo_table g sched v =
 (* The token holder's local work: color every uncolored incident arc,
    then recolor any incident arc clashing under the gathered
    distance-2 knowledge. *)
-let patch_own g st v =
+let patch_own ~scratch g st v =
   let fresh = ref [] in
   let color_of b = Hashtbl.find_opt st.known b in
   let first_fit a =
     let forbidden = Hashtbl.create 16 in
-    Conflict.iter_conflicting g a (fun b ->
+    Conflict.iter_conflicting ~scratch g a (fun b ->
         match color_of b with
         | Some c -> Hashtbl.replace forbidden c ()
         | None -> ());
@@ -59,7 +59,7 @@ let patch_own g st v =
       match color_of a with
       | Some ca ->
           let clash = ref false in
-          Conflict.iter_conflicting g a (fun b ->
+          Conflict.iter_conflicting ~scratch g a (fun b ->
               if (not !clash) && color_of b = Some ca then clash := true);
           if !clash then begin
             Hashtbl.remove st.known a;
@@ -79,6 +79,7 @@ let refresh g sched ~coordinator ~targets =
     targets;
   (* work on a copy: every closure below must see the same fresh array *)
   let sched = Schedule.copy sched in
+  let scratch = Conflict.scratch g in
   let init _ =
     {
       pending_replies = 0;
@@ -129,7 +130,7 @@ let refresh g sched ~coordinator ~targets =
         Array.iter (fun (a, c) -> Hashtbl.replace st.known a c) table;
         st.pending_replies <- st.pending_replies - 1;
         if st.pending_replies = 0 then begin
-          let fresh = patch_own g st (Async.self ctx) in
+          let fresh = patch_own ~scratch g st (Async.self ctx) in
           (* apply immediately so later visits and replies see it *)
           List.iter (fun (a, c) -> Schedule.set sched a c) fresh;
           finish_visit ctx st fresh

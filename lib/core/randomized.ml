@@ -27,9 +27,9 @@ let blocked_set st a = Option.value ~default:Iset.empty (Hashtbl.find_opt st.blo
 
 (* Smallest [window] colors that are not forbidden for arc [a] given the
    node's final knowledge, its veto set and its other tentatives. *)
-let candidates g st a ~window ~own_tentative =
+let candidates ~scratch g st a ~window ~own_tentative =
   let forbidden = Hashtbl.create 16 in
-  Conflict.iter_conflicting g a (fun b ->
+  Conflict.iter_conflicting ~scratch g a (fun b ->
       match Hashtbl.find_opt st.final b with
       | Some c -> Hashtbl.replace forbidden c ()
       | None -> ());
@@ -46,6 +46,9 @@ let broadcast g v payload = Graph.fold_neighbors g v (fun acc w -> (w, payload) 
 
 let run ?(window = 3) ~rng g =
   let sched = Schedule.make g in
+  (* nodes run sequentially inside the simulator, so one scratch is
+     shared by every per-arc conflict enumeration below *)
+  let scratch = Conflict.scratch g in
   let init v =
     let pending = ref [] in
     Arc.iter_out g v (fun a -> pending := a :: !pending);
@@ -79,7 +82,7 @@ let run ?(window = 3) ~rng g =
           st.tentative <- [];
           List.iter
             (fun a ->
-              match candidates g st a ~window ~own_tentative:st.tentative with
+              match candidates ~scratch g st a ~window ~own_tentative:st.tentative with
               | [] -> ()
               | cands ->
                   let c = List.nth cands (Random.State.int rng (List.length cands)) in
@@ -104,7 +107,7 @@ let run ?(window = 3) ~rng g =
           (fun i (a, ca, pa) ->
             (* versus known finals *)
             let vetoed = ref false in
-            Conflict.iter_conflicting g a (fun b ->
+            Conflict.iter_conflicting ~scratch g a (fun b ->
                 if (not !vetoed) && Hashtbl.find_opt st.final b = Some ca then vetoed := true);
             if !vetoed then rejects := (a, ca, pa) :: !rejects;
             (* versus other visible proposals: the larger arc id loses *)

@@ -48,11 +48,12 @@ let nodes t = t.n
    graph, in order; returns the updated color map. *)
 let color_pairs t g pairs =
   let colors = ref t.colors in
+  let scratch = Conflict.scratch g in
   List.iter
     (fun (u, v) ->
       let a = Arc.make g u v in
       let forbidden = Hashtbl.create 16 in
-      Conflict.iter_conflicting g a (fun b ->
+      Conflict.iter_conflicting ~scratch g a (fun b ->
           match Pmap.find_opt (Arc.tail g b, Arc.head g b) !colors with
           | Some c -> Hashtbl.replace forbidden c ()
           | None -> ());
@@ -71,6 +72,7 @@ let canonical u v = if u < v then (u, v) else (v, u)
    updated colors and how many arcs had to change. *)
 let fixup g touched colors =
   let colors = ref colors and recolored = ref 0 in
+  let scratch = Conflict.scratch g in
   let color_of b = Pmap.find_opt (Arc.tail g b, Arc.head g b) !colors in
   List.iter
     (fun v ->
@@ -79,11 +81,11 @@ let fixup g touched colors =
           | None -> ()
           | Some ca ->
               let clash = ref false in
-              Conflict.iter_conflicting g a (fun b ->
+              Conflict.iter_conflicting ~scratch g a (fun b ->
                   if (not !clash) && color_of b = Some ca then clash := true);
               if !clash then begin
                 let forbidden = Hashtbl.create 16 in
-                Conflict.iter_conflicting g a (fun b ->
+                Conflict.iter_conflicting ~scratch g a (fun b ->
                     match color_of b with
                     | Some c -> Hashtbl.replace forbidden c ()
                     | None -> ());

@@ -64,7 +64,10 @@ let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null)
       Arc.iter_out g v (fun a -> acc := a :: !acc);
       own.(v) <- Array.of_list (List.sort compare !acc))
     own;
-  let conflicts = Array.init narcs (fun a -> Array.of_list (Conflict.conflicting g a)) in
+  let conflicts =
+    let scratch = Conflict.scratch g in
+    Array.init narcs (fun a -> Array.of_list (Conflict.conflicting ~scratch g a))
+  in
   let c0 = Schedule.colors sched0 in
   (* ground truth: the union of every owner's authoritative entries,
      updated by blips and repairs as they happen *)

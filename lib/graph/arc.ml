@@ -27,12 +27,19 @@ let iter g f =
     f a
   done
 
-let iter_out g v f = Graph.iter_incident_edges g v (fun _ w -> f (make g v w))
-let iter_in g v f = Graph.iter_incident_edges g v (fun _ w -> f (make g w v))
+(* The incident-edge iterator already hands over the edge index, and the
+   canonical direction of edge {v, w} is known from v < w alone — so arc
+   ids are assembled directly, with no binary search through [make]. *)
+let iter_out g v f =
+  Graph.iter_incident_edges g v (fun e w -> f (of_edge ~edge:e ~dir:(if v < w then 0 else 1)))
+
+let iter_in g v f =
+  Graph.iter_incident_edges g v (fun e w -> f (of_edge ~edge:e ~dir:(if w < v then 0 else 1)))
 
 let iter_incident g v f =
-  Graph.iter_incident_edges g v (fun _ w ->
-      f (make g v w);
-      f (make g w v))
+  Graph.iter_incident_edges g v (fun e w ->
+      let out = of_edge ~edge:e ~dir:(if v < w then 0 else 1) in
+      f out;
+      f (rev out))
 
 let pp g ppf a = Format.fprintf ppf "%d->%d" (tail g a) (head g a)

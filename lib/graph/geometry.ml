@@ -17,7 +17,12 @@ let udg_edges points ~radius =
   let n = Array.length points in
   if n = 0 then []
   else begin
-    let cell_of p = (int_of_float (p.x /. radius), int_of_float (p.y /. radius)) in
+    (* floor before truncating: int_of_float rounds toward zero, which
+       would merge cells -1 and 0 for caller-supplied points with
+       negative coordinates and let the 3x3 scan miss edges *)
+    let cell_of p =
+      (int_of_float (Float.floor (p.x /. radius)), int_of_float (Float.floor (p.y /. radius)))
+    in
     let grid : (int * int, int list ref) Hashtbl.t = Hashtbl.create (2 * n) in
     Array.iteri
       (fun i p ->

@@ -11,18 +11,17 @@ let m g = Array.length g.edges
 
 let canonical (u, v) = if u < v then (u, v) else (v, u)
 
-let of_array ~n edges =
-  if n < 0 then invalid_arg "Graph.create: negative node count";
-  let edges = Array.map canonical edges in
-  Array.iter
-    (fun (u, v) ->
-      if u = v then invalid_arg "Graph.create: self loop";
-      if u < 0 || v >= n then invalid_arg "Graph.create: endpoint out of range")
-    edges;
-  Array.sort compare edges;
-  let dup = ref false in
-  Array.iteri (fun i e -> if i > 0 && edges.(i - 1) = e then dup := true) edges;
-  if !dup then invalid_arg "Graph.create: duplicate edge";
+(* Trusted constructor: [edges] must already be canonical ([fst < snd]),
+   lexicographically sorted, duplicate-free, with endpoints in
+   [0 .. n-1].  The array is taken over, not copied.
+
+   The adjacency rows come out sorted without a per-row sort: row [v]
+   first receives its partners [u < v] (from edges [(u, v)], visited in
+   increasing [u] because the edge array is sorted on the first
+   component), then its partners [w > v] (from edges [(v, w)], visited
+   in increasing [w]) — every [(u, v)] edge precedes every [(v, w)] edge
+   in the sorted array since [u < v]. *)
+let of_sorted_edges_unchecked ~n edges =
   let deg = Array.make n 0 in
   Array.iter
     (fun (u, v) ->
@@ -45,23 +44,21 @@ let of_array ~n edges =
       adj_edge.(cursor.(v)) <- e;
       cursor.(v) <- cursor.(v) + 1)
     edges;
-  (* Rows are already sorted by neighbor id because edges are sorted
-     lexicographically on canonical endpoints only for the [u] side; sort
-     each row to make membership tests valid in all cases. *)
-  for v = 0 to n - 1 do
-    let lo = adj_off.(v) and hi = adj_off.(v + 1) in
-    let len = hi - lo in
-    if len > 1 then begin
-      let pairs = Array.init len (fun i -> (adj.(lo + i), adj_edge.(lo + i))) in
-      Array.sort compare pairs;
-      Array.iteri
-        (fun i (w, e) ->
-          adj.(lo + i) <- w;
-          adj_edge.(lo + i) <- e)
-        pairs
-    end
-  done;
   { n; edges; adj_off; adj; adj_edge }
+
+let of_array ~n edges =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  let edges = Array.map canonical edges in
+  Array.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Graph.create: self loop";
+      if u < 0 || v >= n then invalid_arg "Graph.create: endpoint out of range")
+    edges;
+  Array.sort compare edges;
+  let dup = ref false in
+  Array.iteri (fun i e -> if i > 0 && edges.(i - 1) = e then dup := true) edges;
+  if !dup then invalid_arg "Graph.create: duplicate edge";
+  of_sorted_edges_unchecked ~n edges
 
 let create ~n edges = of_array ~n (Array.of_list edges)
 let degree g v = g.adj_off.(v + 1) - g.adj_off.(v)

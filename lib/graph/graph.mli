@@ -17,6 +17,17 @@ val create : n:int -> (int * int) list -> t
 (** [of_array ~n edges] is {!create} on an array of edges. *)
 val of_array : n:int -> (int * int) array -> t
 
+(** [of_sorted_edges_unchecked ~n edges] builds the CSR structure
+    directly from a trusted edge array: every pair must be canonical
+    ([fst < snd]), the array lexicographically sorted and
+    duplicate-free, endpoints in [0 .. n-1].  No validation, no
+    re-sort; the array is taken over, not copied.  Behaviour is
+    undefined on input violating the contract.  Intended for bulk
+    constructors (e.g. {!Fdlsp_color.Conflict.conflict_graph}) that
+    produce edges in canonical sorted order and would otherwise pay a
+    redundant validate + sort pass through {!of_array}. *)
+val of_sorted_edges_unchecked : n:int -> (int * int) array -> t
+
 val n : t -> int
 (** Number of nodes. *)
 

@@ -705,6 +705,7 @@ module Replay = struct
     let module S = Fdlsp_color.Schedule in
     let narcs = Arc.count g in
     let sched = S.make g in
+    let scratch = Fdlsp_color.Conflict.scratch g in
     let colors = ref 0 in
     Array.iteri
       (fun i { ev; _ } ->
@@ -720,7 +721,7 @@ module Replay = struct
             if S.is_colored sched arc then
               rejectf "event %d: arc %d colored twice (had %d, now %d)" i arc
                 (S.get sched arc) slot;
-            Fdlsp_color.Conflict.iter_conflicting g arc (fun b ->
+            Fdlsp_color.Conflict.iter_conflicting ~scratch g arc (fun b ->
                 if S.get sched b = slot then
                   rejectf
                     "event %d: arc %d slot %d clashes with earlier decision on arc %d" i

@@ -103,6 +103,50 @@ let test_conflict_graph_shape () =
   Alcotest.(check int) "nodes" 4 (Graph.n cg);
   Alcotest.(check int) "edges" 6 (Graph.m cg)
 
+(* Reference conflict graph straight off the Definition-2 predicate: an
+   O(m^2) double loop routed through the validating [Graph.create] —
+   the shape (and output) of the pre-kernel construction. *)
+let reference_conflict_graph g =
+  let edges = ref [] in
+  Arc.iter g (fun a ->
+      Arc.iter g (fun b ->
+          if a < b && Conflict.conflict g a b then edges := (a, b) :: !edges));
+  Graph.create ~n:(Arc.count g) !edges
+
+let prop_conflict_graph_matches_oracle name ?(count = 40) arb =
+  qtest
+    (Printf.sprintf "CSR conflict_graph = Definition-2 oracle on %s" name)
+    ~count arb
+    (fun g -> Graph.equal (Conflict.conflict_graph g) (reference_conflict_graph g))
+
+let prop_conflict_graph_gnp = prop_conflict_graph_matches_oracle "gnp" (arb_gnp ())
+let prop_conflict_graph_udg = prop_conflict_graph_matches_oracle "udg" ~count:20 (arb_udg ())
+
+let prop_conflict_graph_tree =
+  prop_conflict_graph_matches_oracle "tree" ~count:20 (Generators.arb_tree ~max_n:30 ())
+
+let prop_conflict_graph_connected =
+  prop_conflict_graph_matches_oracle "connected" ~count:20
+    (Generators.arb_connected ~max_n:15 ())
+
+(* The generation-stamped scratch must be stateless across calls: one
+   scratch reused over every arc gives exactly the fresh-scratch
+   results. *)
+let prop_scratch_reuse =
+  qtest "shared scratch = fresh scratch per arc" (arb_gnp ()) (fun g ->
+      let scratch = Conflict.scratch g in
+      let ok = ref true in
+      Arc.iter g (fun a ->
+          if Conflict.conflicting ~scratch g a <> Conflict.conflicting g a then ok := false);
+      !ok)
+
+let test_scratch_wrong_graph () =
+  let g = Gen.path 3 and h = Gen.path 4 in
+  let scratch = Conflict.scratch h in
+  Alcotest.check_raises "foreign scratch rejected"
+    (Invalid_argument "Conflict.iter_conflicting: scratch built over a different graph")
+    (fun () -> Conflict.iter_conflicting ~scratch g 0 (fun _ -> ()))
+
 (* ------------------------------------------------------------------ *)
 (* Schedule + validator                                                *)
 (* ------------------------------------------------------------------ *)
@@ -324,6 +368,22 @@ let prop_clique_lower_sound =
       let opt = Dsatur.fdlsp_optimal g in
       opt.Dsatur.status <> Dsatur.Optimal || Bounds.clique_lower g <= opt.Dsatur.colors_used)
 
+(* Lemma 6 reconciliation: the slot bound and the conflict-degree bound
+   are the same fact, so the two entry points must agree exactly — and
+   both must dominate the observed clique number of the conflict graph
+   (clique <= chromatic <= upper). *)
+let prop_upper_is_degree_bound_plus_one =
+  qtest "Bounds.upper = Conflict.degree_bound + 1" (arb_gnp ()) (fun g ->
+      Bounds.upper g = Conflict.degree_bound g + 1)
+
+let prop_upper_dominates_conflict_clique =
+  qtest "conflict-graph clique number <= both Lemma 6 bounds" ~count:30
+    (arb_gnp ~max_n:8 ()) (fun g ->
+      let omega = Clique.max_clique_size (Conflict.conflict_graph g) in
+      (* a clique of conflicting arcs pins each member to a distinct slot,
+         and all but one of them to a conflict of any given member *)
+      omega <= Bounds.upper g && omega - 1 <= Conflict.degree_bound g)
+
 (* ------------------------------------------------------------------ *)
 (* Greedy                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -492,10 +552,16 @@ let () =
           Alcotest.test_case "shared endpoints" `Quick test_conflict_shared_endpoint;
           Alcotest.test_case "distance-3 ok" `Quick test_conflict_distance3_ok;
           Alcotest.test_case "conflict graph shape" `Quick test_conflict_graph_shape;
+          Alcotest.test_case "scratch for wrong graph" `Quick test_scratch_wrong_graph;
           prop_conflict_symmetric;
           prop_conflicting_matches_predicate;
           prop_conflict_matches_definition2;
           prop_conflict_degree_bound;
+          prop_conflict_graph_gnp;
+          prop_conflict_graph_udg;
+          prop_conflict_graph_tree;
+          prop_conflict_graph_connected;
+          prop_scratch_reuse;
         ] );
       ( "schedule",
         [
@@ -523,6 +589,8 @@ let () =
           prop_lower_le_upper;
           prop_lower_sound;
           prop_clique_lower_sound;
+          prop_upper_is_degree_bound_plus_one;
+          prop_upper_dominates_conflict_clique;
         ] );
       ( "greedy",
         [

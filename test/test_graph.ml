@@ -150,6 +150,56 @@ let test_udg_edges_radius_boundary () =
   Alcotest.(check int) "only the exact-distance pair" 1 (Graph.m g);
   Alcotest.(check bool) "0-1 in" true (Graph.mem_edge g 0 1)
 
+(* O(n^2) distance oracle for [Geometry.udg_edges]. *)
+let udg_oracle pts ~radius =
+  let n = Array.length pts in
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      if Geometry.dist pts.(i) pts.(j) <= radius then edges := (i, j) :: !edges
+    done
+  done;
+  !edges
+
+let test_udg_edges_negative_coords () =
+  (* Regression: [int_of_float] truncates toward zero, so without the
+     floor the bucketing merged cells -1 and 0 and the 3x3 scan missed
+     edges between points straddling an axis. *)
+  let pts =
+    Geometry.
+      [|
+        { x = -0.1; y = 0.2 };
+        { x = 0.1; y = 0.2 };
+        { x = 0.2; y = -0.1 };
+        { x = -1.95; y = -0.05 };
+        { x = -1.05; y = -0.05 };
+        { x = -2.6; y = -2.6 };
+      |]
+  in
+  let got = List.sort compare (Geometry.udg_edges pts ~radius:1.0) in
+  let want = List.sort compare (udg_oracle pts ~radius:1.0) in
+  Alcotest.(check bool) "origin-straddling pairs present"
+    true
+    (List.mem (0, 1) got && List.mem (1, 2) got && List.mem (3, 4) got);
+  Alcotest.(check (list (pair int int))) "matches O(n^2) oracle" want got
+
+let arb_straddling_points =
+  QCheck2.Gen.make_primitive
+    ~gen:(fun st ->
+      let n = 2 + Random.State.int st 40 in
+      Array.init n (fun _ ->
+          Geometry.
+            { x = Random.State.float st 6. -. 3.; y = Random.State.float st 6. -. 3. }))
+    ~shrink:(fun pts ->
+      if Array.length pts <= 2 then Seq.empty
+      else Seq.return (Array.sub pts 0 (Array.length pts - 1)))
+
+let prop_udg_edges_straddle_origin =
+  qtest "udg_edges = distance oracle on points straddling the origin" ~count:100
+    arb_straddling_points (fun pts ->
+      List.sort compare (Geometry.udg_edges pts ~radius:1.0)
+      = List.sort compare (udg_oracle pts ~radius:1.0))
+
 (* ------------------------------------------------------------------ *)
 (* Traversals                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -331,6 +381,31 @@ let prop_arc_roundtrip =
           if b <> Arc.rev a then ok := false);
       !ok)
 
+(* The rewritten iterators derive arc ids from the edge index that
+   [Graph.iter_incident_edges] supplies; the pre-rewrite ones rebuilt
+   them through [Arc.make]'s binary search.  Keep the old enumeration
+   as the oracle, compared order-insensitively. *)
+let prop_arc_iters_match_make =
+  qtest "iter_out/in/incident agree with Arc.make enumeration" (arb_gnp ()) (fun g ->
+      let sorted r = List.sort compare !r in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        let got = ref [] and oracle = ref [] in
+        Arc.iter_out g v (fun a -> got := a :: !got);
+        Graph.iter_neighbors g v (fun w -> oracle := Arc.make g v w :: !oracle);
+        if sorted got <> sorted oracle then ok := false;
+        let got = ref [] and oracle = ref [] in
+        Arc.iter_in g v (fun a -> got := a :: !got);
+        Graph.iter_neighbors g v (fun w -> oracle := Arc.make g w v :: !oracle);
+        if sorted got <> sorted oracle then ok := false;
+        let got = ref [] and oracle = ref [] in
+        Arc.iter_incident g v (fun a -> got := a :: !got);
+        Graph.iter_neighbors g v (fun w ->
+            oracle := Arc.make g v w :: Arc.make g w v :: !oracle);
+        if sorted got <> sorted oracle then ok := false
+      done;
+      !ok)
+
 let prop_arcs_partition =
   qtest "out-arcs over all nodes = all arcs" (arb_gnp ()) (fun g ->
       let seen = Array.make (Arc.count g) false in
@@ -366,6 +441,8 @@ let () =
           Alcotest.test_case "gnm" `Quick test_gen_gnm;
           Alcotest.test_case "udg vs brute force" `Quick test_gen_udg;
           Alcotest.test_case "udg radius boundary" `Quick test_udg_edges_radius_boundary;
+          Alcotest.test_case "udg negative coordinates" `Quick test_udg_edges_negative_coords;
+          prop_udg_edges_straddle_origin;
         ] );
       ( "traversal",
         [
@@ -397,6 +474,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_arcs_basic;
           Alcotest.test_case "iteration" `Quick test_arcs_iter;
           prop_arc_roundtrip;
+          prop_arc_iters_match_make;
           prop_arcs_partition;
         ] );
     ]
