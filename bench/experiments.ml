@@ -886,3 +886,123 @@ let stabilize cfg =
     "JSON: {\"experiment\":\"stabilize\",\"seeds\":%d,\"blip_horizon\":%d,\"points\":[%s]}\n"
     cfg.seeds horizon
     (Buffer.contents json_points)
+
+(* ------------------------------------------------------------------ *)
+(* Frame-runtime sweep                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* What does a schedule cost to *operate*?  Sweep oscillator drift (and
+   equal timer jitter) x beacon loss x phase-blip churn over the frame
+   runtime and measure the energy left on the table (sleep fraction),
+   the resync machinery's work (desyncs, resyncs, join latency) and the
+   damage (collisions at awake addressees, abandoned packets).  Trees
+   keep every deployment connected and make beacon loss compound along
+   forwarding paths, which is the realistic worst case for resync. *)
+let frames cfg =
+  Report.section
+    (Printf.sprintf
+       "Frame runtime sweep: energy, resync work and collision damage vs drift x \
+        beacon loss x churn (%d seeds; 24-node trees, 16 superframes)"
+       cfg.seeds);
+  let drifts = if cfg.smoke then [ 0.; 0.01 ] else [ 0.; 0.002; 0.01 ] in
+  let losses = if cfg.smoke then [ 0.; 0.3 ] else [ 0.; 0.1; 0.3 ] in
+  let churns = [ 0; 2 ] in
+  let n = 24 and horizon = 16 in
+  let json_points = Buffer.create 1024 in
+  let rows =
+    List.concat_map
+      (fun drift ->
+        List.concat_map
+          (fun loss ->
+            List.map
+              (fun churn ->
+                let m =
+                  msink cfg
+                    [
+                      ("drift", Printf.sprintf "%g" drift);
+                      ("loss", Printf.sprintf "%g" loss);
+                      ("churn", string_of_int churn);
+                    ]
+                in
+                let reports =
+                  List.init cfg.seeds (fun k ->
+                      let g = Gen.random_tree (rng_for cfg k) n in
+                      let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+                      let brng =
+                        Random.State.make [| cfg.base_seed; 0xB11; k; churn |]
+                      in
+                      let drift_blips =
+                        List.init churn (fun _ ->
+                            ( 1 + Random.State.int brng (n - 1),
+                              2 + Random.State.int brng (horizon / 2) ))
+                      in
+                      let config =
+                        {
+                          Frame.default with
+                          frames = horizon;
+                          warm_start = true;
+                          resync_threshold = 4;
+                          drift;
+                          jitter = drift;
+                          beacon_loss = loss;
+                          drift_blips;
+                          seed = cfg.base_seed + (31 * k);
+                        }
+                      in
+                      Frame.run ~config ~metrics:m g sched)
+                in
+                let meanf f = Report.mean (List.map f reports) in
+                let sleep = meanf (fun r -> r.Frame.r_sleep_fraction) in
+                let latency = meanf (fun r -> r.Frame.r_join_latency) in
+                let desyncs = meanf (fun r -> float_of_int r.Frame.r_desyncs) in
+                let resyncs = meanf (fun r -> float_of_int r.Frame.r_resyncs) in
+                let collisions =
+                  meanf (fun r -> float_of_int r.Frame.r_collisions)
+                in
+                let gave_up = meanf (fun r -> float_of_int r.Frame.r_gave_up) in
+                let synced =
+                  meanf (fun r -> float_of_int r.Frame.r_synced_end)
+                in
+                Metrics.gauge m "fdlsp_bench_frame_sleep_fraction" sleep;
+                Metrics.gauge m "fdlsp_bench_frame_join_latency" latency;
+                Metrics.gauge m "fdlsp_bench_frame_resync" resyncs;
+                Metrics.gauge m "fdlsp_bench_frame_collisions" collisions;
+                if Buffer.length json_points > 0 then
+                  Buffer.add_char json_points ',';
+                Buffer.add_string json_points
+                  (Printf.sprintf
+                     "{\"drift\":%g,\"loss\":%g,\"churn\":%d,\
+                      \"sleep_fraction\":%.3f,\"join_latency\":%.1f,\
+                      \"desyncs\":%.1f,\"resyncs\":%.1f,\"collisions\":%.1f,\
+                      \"gave_up\":%.1f,\"synced_end\":%.1f}"
+                     drift loss churn sleep latency desyncs resyncs collisions
+                     gave_up synced);
+                [
+                  Printf.sprintf "%g" drift;
+                  Printf.sprintf "%g" loss;
+                  string_of_int churn;
+                  Printf.sprintf "%.3f" sleep;
+                  Report.f1 latency;
+                  Report.f1 desyncs;
+                  Report.f1 resyncs;
+                  Report.f1 collisions;
+                  Report.f1 gave_up;
+                  Report.f1 synced;
+                ])
+              churns)
+          losses)
+      drifts
+  in
+  print_string
+    (Report.table
+       ~header:
+         [
+           "drift"; "loss"; "churn"; "sleep"; "join_lat"; "desyncs"; "resyncs";
+           "collisions"; "gave_up"; "synced";
+         ]
+       rows);
+  print_newline ();
+  Printf.printf
+    "JSON: {\"experiment\":\"frames\",\"seeds\":%d,\"frames\":%d,\"points\":[%s]}\n"
+    cfg.seeds horizon
+    (Buffer.contents json_points)

@@ -25,6 +25,7 @@ let experiments =
     ("faults", Experiments.faults);
     ("phases", Experiments.phases);
     ("stabilize", Experiments.stabilize);
+    ("frames", Experiments.frames);
     ("ablation", Experiments.ablation);
     ( "timing",
       fun (cfg : Experiments.config) ->
@@ -36,7 +37,8 @@ let experiments =
   ]
 
 (* Representative corner of the suite that CI can afford on every push. *)
-let smoke_experiments = [ "table1"; "fig8"; "fig13"; "faults"; "phases"; "stabilize"; "timing" ]
+let smoke_experiments =
+  [ "table1"; "fig8"; "fig13"; "faults"; "phases"; "stabilize"; "frames"; "timing" ]
 
 let names_arg =
   let all = List.map fst experiments in

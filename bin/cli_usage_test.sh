@@ -50,6 +50,11 @@ expect_usage "trace malformed drop" "$cli" trace -g cycle:8 --drop=nope
 expect_usage "bad metrics format" "$cli" metrics -g cycle:8 --format=xml
 expect_usage "bad schedule metrics format" "$cli" schedule -g cycle:8 --metrics=yaml
 expect_usage "metrics malformed seed" "$cli" metrics -g cycle:8 --seed=abc
+expect_usage "zero frames" "$cli" frames -g cycle:8 --frames=0
+expect_usage "frames drift above bound" "$cli" frames -g cycle:8 --drift=0.6
+expect_usage "frames malformed blip" "$cli" frames -g cycle:8 --blip=3
+expect_usage "frames blip at frame 0" "$cli" frames -g cycle:8 --blip=3:0
+expect_usage "frames short slot" "$cli" frames -g cycle:8 --slot-duration=1
 
 if ! "$cli" schedule -g cycle:8 -o /dev/null; then
   echo "FAIL [good invocation]: non-zero exit" >&2
@@ -57,6 +62,10 @@ if ! "$cli" schedule -g cycle:8 -o /dev/null; then
 fi
 if ! "$cli" stabilize -g cycle:8 --seed 3 --blips 2 --blip-horizon 4 -o /dev/null; then
   echo "FAIL [good stabilize]: non-zero exit" >&2
+  fails=1
+fi
+if ! "$cli" frames -g cycle:8 --warm --frames 4 --json -o /dev/null; then
+  echo "FAIL [good frames]: non-zero exit" >&2
   fails=1
 fi
 for fmt in kv json prom; do

@@ -7,6 +7,7 @@
      dot       - graphviz export
      faults    - run a scheduler over a lossy/crashing network
      stabilize - corrupt a schedule in flight and reconverge
+     frames    - run a schedule as a realistic TDMA superframe
      trace     - record / replay-check / summarize event traces
      metrics   - run an algorithm and dump its metrics registry *)
 
@@ -512,6 +513,200 @@ let stabilize_cmd =
       const run $ graph_source $ seed_arg $ blips_arg $ blip_horizon_arg $ drop $ duplicate
       $ rounds $ timeout $ json $ out_arg $ verbose_arg)
 
+(* --- frames ------------------------------------------------------------ *)
+
+let frames_cmd =
+  let frames_arg =
+    let doc = "Superframes to run." in
+    Arg.(value & opt (checked_int ~min:1 "--frames") 20 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  let master_arg =
+    let doc = "Beacon master (the network's time reference)." in
+    Arg.(value & opt (checked_int ~min:0 "--master") 0 & info [ "master" ] ~docv:"V" ~doc)
+  in
+  let drift_arg =
+    let doc = "Max relative clock-rate error of the slave oscillators." in
+    Arg.(value & opt (checked_float ~min:0. ~max:0.49 "--drift") 0. & info [ "drift" ] ~docv:"P" ~doc)
+  in
+  let jitter_arg =
+    let doc = "Per-slot timer jitter fraction." in
+    Arg.(value & opt (checked_float ~min:0. ~max:0.49 "--jitter") 0. & info [ "jitter" ] ~docv:"P" ~doc)
+  in
+  let loss_arg =
+    let doc = "Per-link beacon erasure probability." in
+    Arg.(value & opt (prob "--beacon-loss") 0. & info [ "beacon-loss" ] ~docv:"P" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Consecutive missed beacons before a node desyncs." in
+    Arg.(
+      value
+      & opt (checked_int ~min:1 "--resync-threshold") 5
+      & info [ "resync-threshold" ] ~docv:"K" ~doc)
+  in
+  let retries_arg =
+    let doc = "Data retransmissions per packet before giving up." in
+    Arg.(value & opt (checked_int ~min:0 "--max-retries") 3 & info [ "max-retries" ] ~docv:"R" ~doc)
+  in
+  let slot_arg =
+    let doc = "Slot duration in time units; default fits the beacon flood." in
+    Arg.(
+      value
+      & opt (some (checked_float ~min:2. "--slot-duration")) None
+      & info [ "slot-duration" ] ~docv:"D" ~doc)
+  in
+  let warm_arg =
+    let doc = "Start every node synced (lab bring-up) instead of joining at runtime." in
+    Arg.(value & flag & info [ "warm" ] ~doc)
+  in
+  let blip_conv =
+    let parse s =
+      let fail () =
+        die_usage
+          (Printf.sprintf "--blip expects NODE:FRAME (node >= 0, frame >= 1), got %S" s)
+      in
+      match String.split_on_char ':' s with
+      | [ v; f ] -> (
+          match (int_of_string_opt v, int_of_string_opt f) with
+          | Some v, Some f when v >= 0 && f >= 1 -> Ok (v, f)
+          | _ -> fail ())
+      | _ -> fail ()
+    in
+    Arg.conv (parse, fun ppf (v, f) -> Format.fprintf ppf "%d:%d" v f)
+  in
+  let blips_arg =
+    let doc = "Corrupt the node's slot phase at that frame boundary (repeatable)." in
+    Arg.(value & opt_all blip_conv [] & info [ "blip" ] ~docv:"NODE:FRAME" ~doc)
+  in
+  let record_arg =
+    let doc = "Record the run's JSONL event trace to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-verify a recorded frame trace in $(docv) instead of running: beacon losses, \
+       desyncs, joins and resync lag must obey the protocol's discipline (the thresholds \
+       come from the trace header).  No graph arguments needed."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let stabilize_flag =
+    let doc =
+      "Replay the run's desyncs into the self-stabilizing maintenance protocol as \
+       Stale_phase state corruptions (exit 1 if it fails to reconverge)."
+    in
+    Arg.(value & flag & info [ "stabilize" ] ~doc)
+  in
+  let json =
+    let doc = "Emit a JSON report instead of a key=value line." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run graph seed frames master drift jitter beacon_loss resync_threshold max_retries
+      slot_duration warm blips record replay stabilize json out verbose =
+    setup_logs verbose;
+    let open Fdlsp_sim in
+    match replay with
+    | Some path ->
+        let file = try Trace.load path with Failure m -> or_die (Error m) in
+        let meta = file.Trace.meta in
+        let mint k = Option.bind (List.assoc_opt k meta) int_of_string_opt in
+        let mfloat k = Option.bind (List.assoc_opt k meta) float_of_string_opt in
+        (match
+           Trace.Replay.check_frames
+             ?resync_threshold:(mint "resync_threshold")
+             ?frame_time:(mfloat "frame_time") ?frame_length:(mint "frame_length")
+             file.Trace.events
+         with
+        | Ok f ->
+            emit out
+              (Printf.sprintf
+                 "replay=ok kind=frames events=%d beacon_losses=%d desyncs=%d resyncs=%d \
+                  joins=%d sleeps=%d max_lag=%g synced_end=%b\n"
+                 f.Trace.Replay.f_events f.Trace.Replay.f_beacon_losses
+                 f.Trace.Replay.f_desyncs f.Trace.Replay.f_resyncs f.Trace.Replay.f_joins
+                 f.Trace.Replay.f_sleeps f.Trace.Replay.f_max_lag
+                 f.Trace.Replay.f_synced_end)
+        | Error m ->
+            emit out (Printf.sprintf "replay=FAILED %s\n" m);
+            exit 2)
+    | None ->
+        let g = or_die graph in
+        let guard f = try f () with Invalid_argument m -> or_die (Error m) in
+        let config =
+          {
+            Frame.frames;
+            master;
+            slot_duration;
+            drift;
+            jitter;
+            beacon_loss;
+            resync_threshold;
+            max_retries;
+            warm_start = warm;
+            drift_blips = blips;
+            seed;
+          }
+        in
+        let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+        (* the trace header carries what a graph-free replay needs; the
+           frame-time bound gets the drift+jitter stretch as slack *)
+        let frame_len = Schedule.num_slots (Schedule.normalize sched) + 2 in
+        let dur =
+          match slot_duration with
+          | Some d -> d
+          | None -> Float.max 4. (float_of_int (Traversal.eccentricity g master + 2))
+        in
+        let frame_time = float_of_int frame_len *. dur *. (1. +. drift +. jitter) in
+        let writer =
+          Option.map
+            (fun path ->
+              Trace.open_writer
+                ~meta:
+                  [
+                    ("algo", "frames");
+                    ("n", string_of_int (Graph.n g));
+                    ("m", string_of_int (Graph.m g));
+                    ("frames", string_of_int frames);
+                    ("resync_threshold", string_of_int resync_threshold);
+                    ("frame_length", string_of_int frame_len);
+                    ("frame_time", Printf.sprintf "%g" frame_time);
+                    ("seed", string_of_int seed);
+                  ]
+                path)
+            record
+        in
+        let trace =
+          match writer with Some w -> Trace.writer_sink w | None -> Trace.null
+        in
+        let r = guard (fun () -> Frame.run ~config ~trace g sched) in
+        Option.iter (fun w -> Trace.close_writer ~stats:r.Frame.r_stats w) writer;
+        let buf = Buffer.create 256 in
+        if json then Buffer.add_string buf (Frame.report_to_json r ^ "\n")
+        else Buffer.add_string buf (Format.asprintf "%a\n" Frame.pp_report r);
+        let failed = ref false in
+        if stabilize then begin
+          match Frame.stale_phase_blips r with
+          | [] -> Buffer.add_string buf "stabilize=skipped (no desyncs to replay)\n"
+          | sblips ->
+              let plan = guard (fun () -> Fault.make ~seed ~blips:sblips ()) in
+              let sr = guard (fun () -> Stabilize.run ~faults:plan g sched) in
+              Buffer.add_string buf (Format.asprintf "%a\n" Stabilize.pp_report sr);
+              if not sr.Stabilize.converged then failed := true
+        end;
+        emit out (Buffer.contents buf);
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "frames"
+       ~doc:
+         "Execute a schedule as a realistic TDMA superframe — drifting clocks, SYNC \
+          beacons, JOIN handshake, duty-cycled radios, bounded-retry ACK — or \
+          re-verify a recorded frame trace")
+    Term.(
+      const run $ graph_source $ seed_arg $ frames_arg $ master_arg $ drift_arg
+      $ jitter_arg $ loss_arg $ threshold_arg $ retries_arg $ slot_arg $ warm_arg
+      $ blips_arg $ record_arg $ replay_arg $ stabilize_flag $ json $ out_arg
+      $ verbose_arg)
+
 (* --- trace ------------------------------------------------------------ *)
 
 type trace_algo = T_dfs | T_distmis | T_distmis_general | T_dmgc | T_stabilize
@@ -858,6 +1053,7 @@ let () =
             dot_cmd;
             faults_cmd;
             stabilize_cmd;
+            frames_cmd;
             trace_cmd;
             metrics_cmd;
           ]))

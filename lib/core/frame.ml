@@ -1,0 +1,568 @@
+(* TDMA frame runtime over an FDLSP schedule: SYNC beacon flood, JOIN
+   handshake, duty-cycled data slots with bounded-retry ACK, all on the
+   async engine's drifting per-node timers.  See frame.mli for the
+   protocol contract and the documented idealizations. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+let src = Logs.Src.create "fdlsp.frame" ~doc:"TDMA frame runtime"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  frames : int;
+  master : int;
+  slot_duration : float option;
+  drift : float;
+  jitter : float;
+  beacon_loss : float;
+  resync_threshold : int;
+  max_retries : int;
+  warm_start : bool;
+  drift_blips : (int * int) list;
+  seed : int;
+}
+
+let default =
+  {
+    frames = 20;
+    master = 0;
+    slot_duration = None;
+    drift = 0.;
+    jitter = 0.;
+    beacon_loss = 0.;
+    resync_threshold = 5;
+    max_retries = 3;
+    warm_start = false;
+    drift_blips = [];
+    seed = 0;
+  }
+
+type report = {
+  r_frames : int;
+  r_frame_length : int;
+  r_slot_duration : float;
+  r_offered : int;
+  r_delivered : int;
+  r_collisions : int;
+  r_retries : int;
+  r_gave_up : int;
+  r_beacons : int;
+  r_beacon_losses : int;
+  r_desyncs : int;
+  r_resyncs : int;
+  r_joins : int;
+  r_join_latency : float;
+  r_max_resync_lag : float;
+  r_sleep_fraction : float;
+  r_sleep : float array;
+  r_awake_slots : int array;
+  r_asleep_slots : int array;
+  r_synced_end : int;
+  r_desync_log : (int * float * int) list;
+  r_stats : Stats.t;
+}
+
+(* What a receiver buffered during a reception window: enough to tell
+   addressed data (ack it), addressed joins (answer them) and noise
+   (collide) apart. *)
+type rxkind =
+  | Rx_data of { arc : int; dst : int; pkt : int }
+  | Rx_join of { dst : int }
+
+type msg =
+  | Tick of int  (* slot-boundary timer, tagged with the anchor epoch *)
+  | Eval  (* end of a reception window: resolve the rx cluster *)
+  | Beacon of { bframe : int; hops : int }
+  | Join_req of { dst : int }
+  | Join_ans of { aframe : int }
+  | Data of { arc : int; dst : int; pkt : int }
+  | Ack of { arc : int; pkt : int }
+
+type nstate = {
+  v : int;
+  rng : Random.State.t;
+  mutable synced : bool;
+  mutable joining : bool;
+  mutable anchored : bool;  (* has a slot clock at all *)
+  mutable parent : int;  (* beacon sender to ask for admission *)
+  mutable epoch : int;  (* bumped on re-anchor; stale ticks are ignored *)
+  mutable slot : int;
+  mutable frame : int;
+  mutable missed : int;  (* consecutive beaconless frames *)
+  mutable heard_beacon : bool;
+  mutable last_beacon_frame : int;
+  mutable awake : bool;
+  mutable finished : bool;
+  mutable awake_slots : int;
+  mutable asleep_slots : int;
+  mutable frame_asleep : int;
+  mutable desynced_at : float;
+  mutable had_desync : bool;  (* desynced mid-run (vs cold start) *)
+  mutable rx : (int * rxkind) list;
+  mutable rx_pending : bool;
+}
+
+let run ?(config = default) ?(trace = Trace.null) ?(metrics = Metrics.null) g
+    sched0 =
+  let cfg = config in
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Frame.run: empty graph";
+  if cfg.frames < 1 then invalid_arg "Frame.run: frames must be >= 1";
+  if cfg.master < 0 || cfg.master >= n then
+    invalid_arg "Frame.run: master out of range";
+  if cfg.drift < 0. || cfg.drift >= 0.5 then
+    invalid_arg "Frame.run: drift must be in [0, 0.5)";
+  if cfg.jitter < 0. || cfg.jitter >= 0.5 then
+    invalid_arg "Frame.run: jitter must be in [0, 0.5)";
+  if cfg.beacon_loss < 0. || cfg.beacon_loss > 1. then
+    invalid_arg "Frame.run: beacon_loss must be a probability";
+  if cfg.resync_threshold < 1 then
+    invalid_arg "Frame.run: resync_threshold must be >= 1";
+  if cfg.max_retries < 0 then
+    invalid_arg "Frame.run: max_retries must be >= 0";
+  List.iter
+    (fun (v, f) ->
+      if v < 0 || v >= n then invalid_arg "Frame.run: blip node out of range";
+      if f < 1 then invalid_arg "Frame.run: blip frame must be >= 1")
+    cfg.drift_blips;
+  let sched = Schedule.normalize sched0 in
+  let frame_len = Schedule.num_slots sched + 2 in
+  let dur =
+    match cfg.slot_duration with
+    | Some d ->
+        if d < 2. then invalid_arg "Frame.run: slot_duration must be >= 2";
+        d
+    | None -> Float.max 4. (float_of_int (Traversal.eccentricity g cfg.master + 2))
+  in
+  let narcs = Arc.count g in
+  (* Per-(node, slot) transmit lists and duty-cycle endpoints. *)
+  let tx = Array.make (n * frame_len) [] in
+  let endpoint = Array.make (n * frame_len) false in
+  Array.iteri
+    (fun a c ->
+      if c >= 0 then begin
+        let s = 2 + c in
+        let t = Arc.tail g a and h = Arc.head g a in
+        tx.((t * frame_len) + s) <- a :: tx.((t * frame_len) + s);
+        endpoint.((t * frame_len) + s) <- true;
+        endpoint.((h * frame_len) + s) <- true
+      end)
+    (Schedule.colors sched);
+  Array.iteri (fun i l -> tx.(i) <- List.rev l) tx;
+  (* Oscillator rates: master exact, others seeded in [1-drift, 1+drift]. *)
+  let rates =
+    Array.init n (fun v ->
+        if v = cfg.master || cfg.drift = 0. then 1.
+        else
+          let r = Random.State.make [| cfg.seed; 0xD21F; v |] in
+          1. +. (cfg.drift *. ((2. *. Random.State.float r 1.) -. 1.)))
+  in
+  let loss_rng = Random.State.make [| cfg.seed; 0xBEAC |] in
+  (* Per-arc ARQ state. *)
+  let outstanding = Array.make narcs false in
+  let attempt = Array.make narcs 0 in
+  let next_frame = Array.make narcs 0 in
+  let pkt_of = Array.make narcs 0 in
+  let offered = ref 0
+  and delivered = ref 0
+  and collisions = ref 0
+  and retries = ref 0
+  and gave_up = ref 0
+  and beacons = ref 0
+  and beacon_losses = ref 0
+  and desyncs = ref 0
+  and resyncs = ref 0
+  and lat_sum = ref 0.
+  and max_lag = ref 0.
+  and desync_log = ref [] in
+  let traced = Trace.enabled trace in
+  let temit t ev = if traced then Trace.emit trace ~t ev in
+  let jittered st =
+    if cfg.jitter = 0. then dur
+    else dur *. (1. +. (cfg.jitter *. ((2. *. Random.State.float st.rng 1.) -. 1.)))
+  in
+  let bcast_beacon c ~bframe ~hops =
+    incr beacons;
+    Array.iter
+      (fun w ->
+        if cfg.beacon_loss = 0. || Random.State.float loss_rng 1. >= cfg.beacon_loss
+        then Async.send c w (Beacon { bframe; hops }))
+      (Async.neighbors c)
+  in
+  (* Data frames are broadcast: every awake neighbor overhears them,
+     which is exactly what makes cluster collisions possible. *)
+  let tx_arc c a =
+    let dst = Arc.head g a in
+    Array.iter
+      (fun w -> Async.send c w (Data { arc = a; dst; pkt = pkt_of.(a) }))
+      (Async.neighbors c)
+  in
+  let new_packet c st a =
+    incr offered;
+    outstanding.(a) <- true;
+    attempt.(a) <- 1;
+    pkt_of.(a) <- pkt_of.(a) + 1;
+    next_frame.(a) <- st.frame + 1;
+    tx_arc c a
+  in
+  let data_txs c st s =
+    List.iter
+      (fun a ->
+        if not outstanding.(a) then new_packet c st a
+        else if st.frame >= next_frame.(a) then
+          if attempt.(a) > cfg.max_retries then begin
+            (* retry budget exhausted: abandon and move on *)
+            incr gave_up;
+            outstanding.(a) <- false;
+            temit (Async.now c)
+              (Trace.Give_up { src = st.v; dst = Arc.head g a });
+            new_packet c st a
+          end
+          else begin
+            incr retries;
+            attempt.(a) <- attempt.(a) + 1;
+            next_frame.(a) <- st.frame + (1 lsl min 4 (attempt.(a) - 1));
+            tx_arc c a
+          end)
+      tx.((st.v * frame_len) + s)
+  in
+  let slot_start c st =
+    let s = st.slot in
+    let awake =
+      if not st.synced then true (* desynced radios listen continuously *)
+      else if s <= 1 then true (* SYNC and JOIN are all-hands slots *)
+      else if s = frame_len - 1 then true
+        (* guard slot: a slow oscillator wraps late, so the beacon can
+           land during the node's last local slot — staying awake there
+           lets it re-anchor before the error compounds past a slot *)
+      else endpoint.((st.v * frame_len) + s)
+    in
+    st.awake <- awake;
+    if awake then st.awake_slots <- st.awake_slots + 1
+    else begin
+      st.asleep_slots <- st.asleep_slots + 1;
+      st.frame_asleep <- st.frame_asleep + 1
+    end;
+    if s = 0 then begin
+      if st.v = cfg.master then begin
+        st.heard_beacon <- true;
+        bcast_beacon c ~bframe:st.frame ~hops:0
+      end
+    end
+    else if s = 1 then begin
+      (* randomized contention: don't ask every frame, to thin out
+         join-request pile-ups after a mass desync *)
+      if st.joining && st.parent >= 0 && Random.State.float st.rng 1. < 0.75
+      then
+        Array.iter
+          (fun w -> Async.send c w (Join_req { dst = st.parent }))
+          (Async.neighbors c)
+    end
+    else if st.synced then data_txs c st s
+  in
+  let frame_wrap c st =
+    let now = Async.now c in
+    temit now (Trace.Sleep { node = st.v; slots = st.frame_asleep });
+    st.frame_asleep <- 0;
+    if st.v <> cfg.master && st.synced then begin
+      if st.heard_beacon then st.missed <- 0
+      else begin
+        st.missed <- st.missed + 1;
+        incr beacon_losses;
+        temit now (Trace.Beacon_loss { node = st.v; frame = st.frame });
+        if st.missed >= cfg.resync_threshold then begin
+          st.synced <- false;
+          st.joining <- false;
+          st.missed <- 0;
+          st.had_desync <- true;
+          st.desynced_at <- now;
+          incr desyncs;
+          desync_log := (st.v, now, st.frame) :: !desync_log;
+          temit now (Trace.Desync { node = st.v; frame = st.frame });
+          Log.debug (fun m ->
+              m "t=%g: node %d desynced at frame %d" now st.v st.frame)
+        end
+      end
+    end;
+    st.heard_beacon <- false;
+    st.frame <- st.frame + 1;
+    if st.frame >= cfg.frames then st.finished <- true
+  in
+  let tick c st ep =
+    if ep <> st.epoch then st
+    else begin
+      if st.slot = frame_len - 1 then begin
+        frame_wrap c st;
+        if (not st.finished) && List.mem (st.v, st.frame) cfg.drift_blips
+        then begin
+          (* phase corruption: the slot counter lands mid-frame, so the
+             node duty-cycles through the wrong windows and sleeps past
+             the real SYNC slot until the miss counter desyncs it *)
+          st.slot <- min (frame_len - 1) (max 2 (frame_len / 2));
+          Log.debug (fun m ->
+              m "t=%g: node %d slot phase corrupted at frame %d"
+                (Async.now c) st.v st.frame)
+        end
+        else st.slot <- 0
+      end
+      else st.slot <- st.slot + 1;
+      if not st.finished then begin
+        slot_start c st;
+        Async.set_timer c (jittered st) (Tick st.epoch)
+      end;
+      st
+    end
+  in
+  let push_rx c st entry =
+    st.rx <- entry :: st.rx;
+    if not st.rx_pending then begin
+      st.rx_pending <- true;
+      Async.set_timer c 0.5 Eval
+    end
+  in
+  let eval c st =
+    st.rx_pending <- false;
+    let cluster = List.rev st.rx in
+    st.rx <- [];
+    (match cluster with
+    | [ (sender, Rx_data { arc; dst; pkt }) ] ->
+        if dst = st.v then Async.send c sender (Ack { arc; pkt })
+    | [ (sender, Rx_join { dst }) ] ->
+        if dst = st.v && st.synced then
+          Async.send c sender (Join_ans { aframe = st.frame })
+    | cluster ->
+        (* >= 2 concurrent frames in the window: all destroyed; count
+           the ones this radio was actually waiting for *)
+        List.iter
+          (fun (_, k) ->
+            match k with
+            | Rx_data { dst; _ } when dst = st.v -> incr collisions
+            | Rx_join { dst } when dst = st.v -> incr collisions
+            | _ -> ())
+          cluster);
+    st
+  in
+  let on_beacon c st ~sender ~bframe ~hops =
+    if st.v = cfg.master || not st.awake then st
+    else if bframe <= st.last_beacon_frame then st (* flood duplicate *)
+    else begin
+      st.last_beacon_frame <- bframe;
+      st.heard_beacon <- true;
+      if st.frame_asleep > 0 then begin
+        (* the beacon preempted a late (slow-clock) wrap mid-frame: the
+           wrap tick is now stale, so close this frame's duty-cycle
+           accounting here, keeping every Sleep event frame-sized *)
+        temit (Async.now c) (Trace.Sleep { node = st.v; slots = st.frame_asleep });
+        st.frame_asleep <- 0
+      end;
+      st.epoch <- st.epoch + 1;
+      st.slot <- 0;
+      st.frame <- bframe;
+      let was_anchored = st.anchored in
+      st.anchored <- true;
+      (* re-anchor the slot clock on the master's frame start: the
+         beacon left at the frame boundary and took hops+1 time units *)
+      Async.set_timer c
+        (Float.max 0.5 (dur -. float_of_int (hops + 1)))
+        (Tick st.epoch);
+      if st.synced then bcast_beacon c ~bframe ~hops:(hops + 1)
+      else begin
+        st.parent <- sender;
+        st.joining <- true
+      end;
+      if not was_anchored then
+        (* first anchor: slot accounting starts at this SYNC slot *)
+        st.awake_slots <- st.awake_slots + 1;
+      st
+    end
+  in
+  let on_join_ans c st ~sender ~aframe =
+    if st.joining && st.awake then begin
+      st.joining <- false;
+      st.synced <- true;
+      st.missed <- 0;
+      st.frame <- max st.frame aframe;
+      incr resyncs;
+      let now = Async.now c in
+      lat_sum := !lat_sum +. (now -. st.desynced_at);
+      if st.had_desync then begin
+        max_lag := Float.max !max_lag (now -. st.desynced_at);
+        st.had_desync <- false
+      end;
+      temit now (Trace.Join { node = st.v; parent = sender });
+      temit now (Trace.Resync { node = st.v; frame = st.frame });
+      Log.debug (fun m ->
+          m "t=%g: node %d joined via %d at frame %d" now st.v sender st.frame)
+    end;
+    st
+  in
+  let handler c st ~sender msg =
+    if st.finished then st
+    else
+      match msg with
+      | Tick ep -> tick c st ep
+      | Eval -> eval c st
+      | Beacon { bframe; hops } -> on_beacon c st ~sender ~bframe ~hops
+      | Join_ans { aframe } -> on_join_ans c st ~sender ~aframe
+      | Ack { arc; pkt } ->
+          if
+            st.awake && Arc.tail g arc = st.v && outstanding.(arc)
+            && pkt_of.(arc) = pkt
+          then begin
+            outstanding.(arc) <- false;
+            incr delivered
+          end;
+          st
+      | Data { arc; dst; pkt } ->
+          if st.awake then push_rx c st (sender, Rx_data { arc; dst; pkt });
+          st
+      | Join_req { dst } ->
+          if st.awake then push_rx c st (sender, Rx_join { dst });
+          st
+  in
+  let init v =
+    {
+      v;
+      rng = Random.State.make [| cfg.seed; 0x5EED; v |];
+      synced = cfg.warm_start || v = cfg.master;
+      joining = false;
+      anchored = cfg.warm_start || v = cfg.master;
+      parent = -1;
+      epoch = 0;
+      slot = 0;
+      frame = 0;
+      missed = 0;
+      heard_beacon = false;
+      last_beacon_frame = -1;
+      awake = true;
+      finished = false;
+      awake_slots = 0;
+      asleep_slots = 0;
+      frame_asleep = 0;
+      desynced_at = 0.;
+      had_desync = false;
+      rx = [];
+      rx_pending = false;
+    }
+  in
+  let starts =
+    let go v =
+      ( v,
+        fun c st ->
+          slot_start c st;
+          Async.set_timer c (jittered st) (Tick st.epoch);
+          st )
+    in
+    if cfg.warm_start then List.init n go else [ go cfg.master ]
+  in
+  let max_events =
+    max 1_000_000
+      (8 * cfg.frames * (n + narcs) * (Graph.max_degree g + 4))
+  in
+  let states, stats =
+    Async.run ~max_events ~drift:(fun v -> rates.(v)) ~trace ~metrics g ~init
+      ~starts ~handler
+  in
+  let r_sleep =
+    Array.map
+      (fun st ->
+        let tot = st.awake_slots + st.asleep_slots in
+        if tot = 0 then 0.
+        else float_of_int st.asleep_slots /. float_of_int tot)
+      states
+  in
+  let counted = ref 0 and sleep_sum = ref 0. in
+  Array.iter
+    (fun st ->
+      if st.awake_slots + st.asleep_slots > 0 then begin
+        incr counted;
+        sleep_sum := !sleep_sum +. r_sleep.(st.v)
+      end)
+    states;
+  let r_sleep_fraction =
+    if !counted = 0 then 0. else !sleep_sum /. float_of_int !counted
+  in
+  let r_join_latency =
+    if !resyncs = 0 then 0. else !lat_sum /. float_of_int !resyncs
+  in
+  if Metrics.enabled metrics then begin
+    Metrics.gauge metrics Metrics.Name.frame_sleep_fraction r_sleep_fraction;
+    Metrics.gauge metrics Metrics.Name.frame_join_latency r_join_latency;
+    Metrics.inc ~by:!resyncs metrics Metrics.Name.frame_resyncs;
+    Metrics.inc ~by:!desyncs metrics Metrics.Name.frame_desyncs;
+    Metrics.inc ~by:!collisions metrics Metrics.Name.frame_collisions
+  end;
+  {
+    r_frames = cfg.frames;
+    r_frame_length = frame_len;
+    r_slot_duration = dur;
+    r_offered = !offered;
+    r_delivered = !delivered;
+    r_collisions = !collisions;
+    r_retries = !retries;
+    r_gave_up = !gave_up;
+    r_beacons = !beacons;
+    r_beacon_losses = !beacon_losses;
+    r_desyncs = !desyncs;
+    r_resyncs = !resyncs;
+    r_joins = !resyncs;
+    r_join_latency;
+    r_max_resync_lag = !max_lag;
+    r_sleep_fraction;
+    r_sleep;
+    r_awake_slots = Array.map (fun st -> st.awake_slots) states;
+    r_asleep_slots = Array.map (fun st -> st.asleep_slots) states;
+    r_synced_end =
+      Array.fold_left (fun acc st -> if st.synced then acc + 1 else acc) 0 states;
+    r_desync_log = List.rev !desync_log;
+    r_stats = stats;
+  }
+
+let stale_phase_blips r =
+  List.map
+    (fun (v, _, f) ->
+      {
+        Fault.b_node = v;
+        b_at = float_of_int (max 1 f);
+        b_kind = Fault.Stale_phase;
+      })
+    r.r_desync_log
+  |> List.sort (fun a b ->
+         compare (a.Fault.b_at, a.Fault.b_node) (b.Fault.b_at, b.Fault.b_node))
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "frames=%d frame_length=%d slot_duration=%g offered=%d delivered=%d \
+     collisions=%d retries=%d gave_up=%d beacons=%d beacon_losses=%d \
+     desyncs=%d resyncs=%d join_latency=%.2f max_resync_lag=%.2f \
+     sleep_fraction=%.3f synced=%d/%d"
+    r.r_frames r.r_frame_length r.r_slot_duration r.r_offered r.r_delivered
+    r.r_collisions r.r_retries r.r_gave_up r.r_beacons r.r_beacon_losses
+    r.r_desyncs r.r_resyncs r.r_join_latency r.r_max_resync_lag
+    r.r_sleep_fraction r.r_synced_end (Array.length r.r_sleep)
+
+let report_to_json r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"frames\":%d,\"frame_length\":%d,\"slot_duration\":%g,\"offered\":%d,\
+        \"delivered\":%d,\"collisions\":%d,\"retries\":%d,\"gave_up\":%d,\
+        \"beacons\":%d,\"beacon_losses\":%d,\"desyncs\":%d,\"resyncs\":%d,\
+        \"join_latency\":%g,\"max_resync_lag\":%g,\"sleep_fraction\":%g,\
+        \"synced_end\":%d,\"sleep\":["
+       r.r_frames r.r_frame_length r.r_slot_duration r.r_offered r.r_delivered
+       r.r_collisions r.r_retries r.r_gave_up r.r_beacons r.r_beacon_losses
+       r.r_desyncs r.r_resyncs r.r_join_latency r.r_max_resync_lag
+       r.r_sleep_fraction r.r_synced_end);
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%g" s))
+    r.r_sleep;
+  Buffer.add_string b "],\"stats\":";
+  Buffer.add_string b (Stats.to_json r.r_stats);
+  Buffer.add_string b "}";
+  Buffer.contents b

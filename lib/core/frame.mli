@@ -1,0 +1,137 @@
+(** Frame-protocol runtime: executes an FDLSP arc schedule as a real
+    TDMA superframe under hardware realism — drifting local oscillators,
+    a master-anchored SYNC beacon, a JOIN handshake for (re)admission,
+    per-slot radio duty cycling with energy accounting, and a
+    bounded-retry ACK layer on the data slots.
+
+    The paper's output is a Definition-2 schedule: a slot per arc such
+    that every transmission is interference-free {e if all radios agree
+    on slot boundaries}.  This module closes the loop on that premise,
+    in the style of TinyOS TDMA link layers: the schedule is wrapped in
+    a superframe of [num_slots + 2] slots where
+
+    - slot 0 is {b SYNC}: the master floods a beacon that re-anchors
+      every synced node's slot clock (multi-hop: synced nodes forward
+      it, so one beacon reaches the whole component within the slot);
+    - slot 1 is {b JOIN}: unsynced nodes that overheard a beacon ask the
+      beacon's sender to admit them ([Join_req]/[Join_ans]);
+    - slot [2 + s] carries the schedule's data slot [s]: each arc
+      colored [s] transmits, is acknowledged by its head, and retries
+      with exponential backoff for at most [max_retries] retransmissions
+      before abandoning the packet.
+
+    Nodes keep their radio off in data slots where they are neither
+    transmitter nor receiver, except for the frame's last slot, which
+    doubles as a {b guard slot}: a slow oscillator wraps late, so the
+    master's beacon can land while the node still thinks it is in its
+    final data slot — staying awake there lets it re-anchor before the
+    accumulated error exceeds a slot (the TDMA guard-interval idea).
+    The resulting sleep fraction is the first-class energy figure.  A node that misses [resync_threshold]
+    consecutive beacons declares itself {b desynced}: it stops
+    transmitting data (its slot boundaries can no longer be trusted),
+    keeps the radio on, and rejoins through the JOIN handshake.  Each
+    desync is logged so {!stale_phase_blips} can replay the same
+    corruption pattern into {!Stabilize} as [Fault.Stale_phase] blips.
+
+    Idealizations (documented, deliberate): beacons, [Join_ans] and ACKs
+    are short out-of-band control frames — they never collide and are
+    lost only via the seeded [beacon_loss] coin; data frames and
+    [Join_req]s contend for the receiver within a half-slot reception
+    window, and any concurrent pair destroys both (counted in
+    [r_collisions] when the receiver was the addressee).  Everything is
+    deterministic given [seed]. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_sim
+
+type config = {
+  frames : int;  (** superframes to run (>= 1) *)
+  master : int;  (** beacon source / time reference *)
+  slot_duration : float option;
+      (** simulation time units per slot; default
+          [max 4 (eccentricity master + 2)] so the beacon flood fits in
+          the SYNC slot at unit hop delay.  Must be [>= 2]. *)
+  drift : float;
+      (** max relative clock-rate error, in [0, 0.5); node [v]'s
+          oscillator runs at [1 + drift * u_v] with seeded
+          [u_v] uniform in [-1, 1] (the master is exact) *)
+  jitter : float;  (** per-slot timer jitter fraction, in [0, 0.5) *)
+  beacon_loss : float;  (** per-link beacon erasure probability *)
+  resync_threshold : int;
+      (** consecutive missed beacons before a node desyncs (>= 1) *)
+  max_retries : int;  (** data retransmissions per packet before giving up *)
+  warm_start : bool;
+      (** [true]: all nodes start synced at t=0 (lab bring-up);
+          [false]: only the master is up, others join by overhearing *)
+  drift_blips : (int * int) list;
+      (** [(node, frame)] phase corruptions: at that frame boundary the
+          node's slot counter jumps mid-frame, so it sleeps through the
+          next SYNC windows and genuinely loses the beacon until the
+          miss counter desyncs it *)
+  seed : int;
+}
+
+val default : config
+(** 20 frames, master 0, auto slot duration, no drift/jitter/loss,
+    threshold 5 (TinyOS TDMALink's RESYNC_THRESHOLD), 3 retries,
+    cold start, no blips, seed 0. *)
+
+type report = {
+  r_frames : int;
+  r_frame_length : int;  (** slots per superframe = data slots + 2 *)
+  r_slot_duration : float;
+  r_offered : int;  (** data packets offered (first transmissions) *)
+  r_delivered : int;  (** packets acknowledged end-to-end *)
+  r_collisions : int;  (** receptions destroyed at their addressee *)
+  r_retries : int;  (** data retransmissions *)
+  r_gave_up : int;  (** packets abandoned after the retry budget *)
+  r_beacons : int;  (** beacon broadcasts (master + forwarders) *)
+  r_beacon_losses : int;  (** missed-beacon frames observed by slaves *)
+  r_desyncs : int;
+  r_resyncs : int;  (** successful [Join_ans] admissions *)
+  r_joins : int;  (** = [r_resyncs]; cold joins included *)
+  r_join_latency : float;  (** mean time from desync (or t=0) to admission *)
+  r_max_resync_lag : float;
+      (** worst desync-to-resync gap over nodes that desynced mid-run *)
+  r_sleep_fraction : float;  (** mean per-node fraction of slots slept *)
+  r_sleep : float array;  (** per-node sleep fraction *)
+  r_awake_slots : int array;
+  r_asleep_slots : int array;
+  r_synced_end : int;  (** nodes synced when the run ended *)
+  r_desync_log : (int * float * int) list;
+      (** (node, time, frame) per desync, chronological *)
+  r_stats : Stats.t;
+}
+
+val run :
+  ?config:config ->
+  ?trace:Trace.sink ->
+  ?metrics:Metrics.sink ->
+  Graph.t ->
+  Schedule.t ->
+  report
+(** [run g sched] executes [sched] (normalized first; uncolored arcs
+    simply never transmit) over the frame protocol and reports what the
+    radios saw.  Raises [Invalid_argument] on an empty graph or
+    out-of-range config.
+
+    [trace] additionally records [Beacon_loss], [Desync], [Join],
+    [Resync] and per-frame [Sleep] events (plus the engine's usual
+    [Send]/[Recv]), enough for {!Trace.Replay.check_frames} to
+    re-verify the resync discipline from the trace alone.  [metrics]
+    gains the [fdlsp_frame_*] gauges and counters of
+    {!Metrics.Name}. *)
+
+val stale_phase_blips : report -> Fault.blip list
+(** Maps the report's desync log to [Fault.Stale_phase] blips (one per
+    desync, at the desync's frame number as blip time) so the same
+    corruption pattern can be replayed into {!Stabilize.run} via
+    [Fault.make ~blips]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Single [key=value] line, stable for goldens. *)
+
+val report_to_json : report -> string
+(** Flat JSON object (plus the per-node sleep array and embedded
+    engine stats). *)

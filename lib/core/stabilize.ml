@@ -116,7 +116,23 @@ let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null)
         done;
         Log.debug (fun m -> m "blip t=%g: node %d view scrambled" b.Fault.b_at v);
         if traced then
-          Trace.emit trace ~t:b.Fault.b_at (Trace.Corrupt_state { node = v; arc = -1; slot = -1 }));
+          Trace.emit trace ~t:b.Fault.b_at (Trace.Corrupt_state { node = v; arc = -1; slot = -1 })
+    | Fault.Stale_phase ->
+        (* a desynced frame clock: every slot the node believes it owns
+           is off by one — the state-level image of a node transmitting
+           one slot late after drifting past the resync threshold *)
+        Array.iter
+          (fun a ->
+            if st.view.(a) >= 0 then begin
+              let s = st.view.(a) + 1 in
+              st.view.(a) <- s;
+              mirror.(a) <- s;
+              if traced then
+                Trace.emit trace ~t:b.Fault.b_at
+                  (Trace.Corrupt_state { node = v; arc = a; slot = s })
+            end)
+          own.(v);
+        Log.debug (fun m -> m "blip t=%g: node %d frame phase stale" b.Fault.b_at v));
     st
   in
   (* --- the heartbeat protocol -------------------------------------- *)

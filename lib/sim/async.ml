@@ -58,6 +58,9 @@ type 'msg event =
       (** [src] is the acker, [dst] the original sender *)
   | Rto of { src : int; dst : int; seq : int; interval : float }
       (** retransmission timer at the sender *)
+  | Timer of { node : int; payload : 'msg }
+      (** self-delivery scheduled by {!set_timer}; bypasses channels,
+          faults and message accounting *)
 
 type 'msg engine = {
   g : Graph.t;
@@ -67,6 +70,7 @@ type 'msg engine = {
   session : Fault.session option;
   corrupt : ('msg -> 'msg) option;
   rel : Reliable.config option;
+  drift : (int -> float) option;
   trace : Trace.sink;
   traced : bool;
   (* plan crash/recovery boundaries not yet emitted, ascending; flushed
@@ -77,6 +81,8 @@ type 'msg engine = {
   mutable sent : int;
   mutable volume : int;
   mutable retransmits : int;
+  mutable gave_up : int;
+  mutable used_timers : bool;
   mutable last_user : float;  (* time of the last user-level delivery *)
   (* FIFO guarantee: next admissible delivery time per directed channel *)
   channel_front : (int * int, float) Hashtbl.t;
@@ -92,6 +98,16 @@ type 'msg ctx = { engine : 'msg engine; node : int }
 let self c = c.node
 let neighbors c = Graph.neighbors c.engine.g c.node
 let now c = c.engine.clock
+
+let clock_rate c =
+  match c.engine.drift with
+  | None -> 1.
+  | Some f ->
+      let r = f c.node in
+      if not (r > 0.) then
+        invalid_arg
+          (Printf.sprintf "Async: drift rate %g for node %d (must be > 0)" r c.node);
+      r
 
 let bad_delay = "Async: Uniform delay requires 0 < lo <= hi"
 
@@ -222,13 +238,22 @@ let send c dst payload =
   | None -> send_plain e c.node dst payload
   | Some cfg -> send_arq e cfg c.node dst payload
 
+(* A local timer ticks in the node's own clock: a node whose oscillator
+   runs fast (rate < 1 would be slow) sees its timers fire early in
+   simulation time — the mechanism frame protocols drift with. *)
+let set_timer c delay payload =
+  if not (delay > 0.) then invalid_arg "Async.set_timer: delay must be > 0";
+  let e = c.engine in
+  e.used_timers <- true;
+  schedule e (e.clock +. (delay *. clock_rate c)) (Timer { node = c.node; payload })
+
 type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 
 exception Too_many_events of int
 
 let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults ?corrupt
-    ?blip ?reliable ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init ~starts
-    ~handler =
+    ?blip ?reliable ?drift ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init
+    ~starts ~handler =
   let metrics = Metrics.with_label metrics "engine" "async" in
   let mtr = Metrics.enabled metrics in
   (match delay with
@@ -271,6 +296,7 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
       session;
       corrupt;
       rel = reliable;
+      drift;
       trace;
       traced;
       boundaries;
@@ -279,6 +305,8 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
       sent = 0;
       volume = 0;
       retransmits = 0;
+      gave_up = 0;
+      used_timers = false;
       last_user = 0.;
       channel_front = Hashtbl.create 64;
       tx_seq = Hashtbl.create 64;
@@ -346,6 +374,12 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     | Deliver { src; dst; payload } ->
         if crashed_now engine dst then drop_crashed ~src ~dst
         else deliver_user ~src ~dst payload
+    | Timer { node; payload } ->
+        (* a crashed node's timer fires into the void: no drop counted,
+           nothing was on the wire *)
+        if not (crashed_now engine node) then
+          states.(node) <-
+            handler { engine; node } states.(node) ~sender:node payload
     | RData { src; dst; seq; payload } ->
         if crashed_now engine dst then drop_crashed ~src ~dst
         else begin
@@ -383,6 +417,8 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
               match cfg.Reliable.max_retries with
               | Some budget when tries >= budget ->
                   Hashtbl.remove engine.unacked (src, dst, seq);
+                  engine.gave_up <- engine.gave_up + 1;
+                  temit engine (Trace.Give_up { src; dst });
                   (match session with
                   | Some s ->
                       Fault.count_drop s;
@@ -408,14 +444,15 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
   in
   let finish =
     match (session, reliable) with
-    | None, None -> engine.clock  (* every event was a user delivery *)
+    | None, None when not engine.used_timers ->
+        engine.clock  (* every event was a user delivery *)
     | _ -> engine.last_user
   in
   let stats =
     Stats.make
       ~rounds:(int_of_float (ceil finish))
       ~messages:engine.sent ~volume:engine.volume ~dropped ~duplicated
-      ~retransmits:engine.retransmits ~corruptions ()
+      ~retransmits:engine.retransmits ~gave_up:engine.gave_up ~corruptions ()
   in
   Metrics.add_stats metrics stats;
   (states, stats)

@@ -27,6 +27,16 @@ val send : 'msg ctx -> int -> 'msg -> unit
 
 val now : 'msg ctx -> float
 
+val set_timer : 'msg ctx -> float -> 'msg -> unit
+(** [set_timer c delay payload] schedules a self-delivery of [payload]
+    to the calling node after [delay] local time units — scaled by the
+    node's drift rate (see {!run}'s [drift]), so a fast oscillator's
+    timers fire early in simulation time.  Timer deliveries invoke the
+    handler with [sender] = the node itself and bypass channels, the
+    fault session and message accounting entirely; a timer on a crashed
+    node fires into the void.  Raises [Invalid_argument] if
+    [delay <= 0]. *)
+
 type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 (** Called once per delivered message; may {!send} further messages. *)
 
@@ -40,6 +50,7 @@ val run :
   ?corrupt:('msg -> 'msg) ->
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?reliable:Reliable.config ->
+  ?drift:(int -> float) ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
   Graph.t ->
@@ -75,7 +86,14 @@ val run :
     retransmissions (counted in [messages]/[retransmits]).  Corrupted
     frames are discarded as checksum failures and retransmitted.  A
     permanently crashed receiver makes the sender retransmit until
-    [max_retries] (if set) or {!Too_many_events}.
+    [max_retries] (if set) or {!Too_many_events}; an exhausted budget
+    abandons the message, counted in [Stats.gave_up] and traced as
+    [Give_up].
+
+    [drift] gives each node a clock-rate multiplier applied to every
+    {!set_timer} delay (default 1 for all nodes; a rate [<= 0] raises
+    [Invalid_argument] at the first timer).  Message delays are
+    unaffected — drift models local oscillators, not the channel.
 
     [trace] (default {!Trace.null}) records every transmission ([Send],
     including acks and retransmissions — one per counted message),

@@ -18,7 +18,7 @@ let lossy ?(duplicate = 0.) ?(reorder = 0.) ?(corrupt = 0.) drop =
 
 type crash = { node : int; at : float; until : float option }
 
-type blip_kind = Flip_slot | Scramble_view
+type blip_kind = Flip_slot | Scramble_view | Stale_phase
 
 type blip = { b_node : int; b_at : float; b_kind : blip_kind }
 

@@ -52,6 +52,13 @@ type crash = {
 type blip_kind =
   | Flip_slot  (** overwrite the slot of one of the victim's own arcs *)
   | Scramble_view  (** scramble the victim's cached view of other nodes' colors *)
+  | Stale_phase
+      (** the victim's frame phase went stale (clock drift past the
+          resync threshold): every one of its own arcs shifts by one
+          slot, the state-level image of a desynced frame runtime.
+          Produced by [Fdlsp_core.Frame.stale_phase_blips], never by
+          {!scatter_blips} (whose seeded two-kind draw is part of the
+          reproducible-plan contract). *)
 
 type blip = {
   b_node : int;  (** victim node *)

@@ -256,6 +256,7 @@ module Name = struct
   let dropped = "fdlsp_dropped_total"
   let duplicated = "fdlsp_duplicated_total"
   let retransmits = "fdlsp_retransmits_total"
+  let gave_up = "fdlsp_gave_up_total"
   let corruptions = "fdlsp_corruptions_total"
   let round_messages = "fdlsp_round_messages"
   let inbox_depth = "fdlsp_inbox_depth"
@@ -270,6 +271,11 @@ module Name = struct
   let outer_iters = "fdlsp_outer_iters_total"
   let inner_iters = "fdlsp_inner_iters_total"
   let slots = "fdlsp_slots"
+  let frame_sleep_fraction = "fdlsp_frame_sleep_fraction"
+  let frame_join_latency = "fdlsp_frame_join_latency"
+  let frame_resyncs = "fdlsp_frame_resyncs_total"
+  let frame_desyncs = "fdlsp_frame_desyncs_total"
+  let frame_collisions = "fdlsp_frame_collisions_total"
 end
 
 (* Record a whole [Stats.t] through the sink: the engines call this once
@@ -285,6 +291,7 @@ let add_stats m (s : Stats.t) =
       inc ~by:s.Stats.dropped m Name.dropped;
       inc ~by:s.Stats.duplicated m Name.duplicated;
       inc ~by:s.Stats.retransmits m Name.retransmits;
+      inc ~by:s.Stats.gave_up m Name.gave_up;
       inc ~by:s.Stats.corruptions m Name.corruptions
 
 (* ------------------------------------------------------------------ *)
@@ -376,7 +383,8 @@ let to_stats ?(labels = []) reg =
   let c name = counter_value ~labels reg name in
   Stats.make ~rounds:(c Name.rounds) ~messages:(c Name.messages)
     ~volume:(c Name.volume) ~dropped:(c Name.dropped) ~duplicated:(c Name.duplicated)
-    ~retransmits:(c Name.retransmits) ~corruptions:(c Name.corruptions) ()
+    ~retransmits:(c Name.retransmits) ~gave_up:(c Name.gave_up)
+    ~corruptions:(c Name.corruptions) ()
 
 let merge_into ~dst src =
   Hashtbl.iter

@@ -169,6 +169,11 @@ module Name : sig
   val dropped : string
   val duplicated : string
   val retransmits : string
+
+  val gave_up : string
+  (** ["fdlsp_gave_up_total"]: messages abandoned after an exhausted
+      retransmit budget. *)
+
   val corruptions : string
 
   val round_messages : string
@@ -195,4 +200,15 @@ module Name : sig
   val inner_iters : string
 
   val slots : string  (** Gauge: slot count of the produced schedule. *)
+
+  val frame_sleep_fraction : string
+  (** Gauge: mean fraction of slots a node's radio is off ([Frame]). *)
+
+  val frame_join_latency : string
+  (** Gauge: mean time units from losing (or cold-starting without)
+      sync to completing the JOIN handshake. *)
+
+  val frame_resyncs : string
+  val frame_desyncs : string
+  val frame_collisions : string
 end

@@ -112,6 +112,7 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
   let nxt = ref (Array.make n []) in
   let late = ref (Array.make n []) in
   let messages = ref 0 and volume = ref 0 and retransmits = ref 0 in
+  let gave_up = ref 0 in
   let p = ref 0 in
   let frame_volume = function
     | Ack _ -> 1
@@ -252,9 +253,12 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
           match config.max_retries with
           | Some budget when pd.tries >= budget ->
               Hashtbl.remove nd.pending (w, lr);
+              incr gave_up;
               Fault.count_drop session;
-              if traced then
+              if traced then begin
+                Trace.emit trace ~t:(float_of_int !p) (Trace.Give_up { src = v; dst = w });
                 Trace.emit trace ~t:(float_of_int !p) (Trace.Drop { src = v; dst = w })
+              end
           | _ ->
               pd.tries <- pd.tries + 1;
               incr retransmits;
@@ -327,7 +331,8 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
   let stats =
     Stats.make ~rounds:!p ~messages:!messages ~volume:!volume
       ~dropped:(Fault.dropped session) ~duplicated:(Fault.duplicated session)
-      ~retransmits:!retransmits ~corruptions:(Fault.corruptions session) ()
+      ~retransmits:!retransmits ~gave_up:!gave_up
+      ~corruptions:(Fault.corruptions session) ()
   in
   Metrics.add_stats metrics stats;
   (Array.map (fun nd -> nd.ustate) nodes, stats)

@@ -5,6 +5,7 @@ type t = {
   dropped : int;
   duplicated : int;
   retransmits : int;
+  gave_up : int;
   corruptions : int;
 }
 
@@ -16,13 +17,14 @@ let zero =
     dropped = 0;
     duplicated = 0;
     retransmits = 0;
+    gave_up = 0;
     corruptions = 0;
   }
 
-let make ?volume ?(dropped = 0) ?(duplicated = 0) ?(retransmits = 0) ?(corruptions = 0)
-    ~rounds ~messages () =
+let make ?volume ?(dropped = 0) ?(duplicated = 0) ?(retransmits = 0) ?(gave_up = 0)
+    ?(corruptions = 0) ~rounds ~messages () =
   let volume = match volume with Some v -> v | None -> messages in
-  { rounds; messages; volume; dropped; duplicated; retransmits; corruptions }
+  { rounds; messages; volume; dropped; duplicated; retransmits; gave_up; corruptions }
 
 let add a b =
   {
@@ -32,6 +34,7 @@ let add a b =
     dropped = a.dropped + b.dropped;
     duplicated = a.duplicated + b.duplicated;
     retransmits = a.retransmits + b.retransmits;
+    gave_up = a.gave_up + b.gave_up;
     corruptions = a.corruptions + b.corruptions;
   }
 
@@ -43,23 +46,30 @@ let scale_rounds k s =
     dropped = k * s.dropped;
     duplicated = k * s.duplicated;
     retransmits = k * s.retransmits;
+    gave_up = k * s.gave_up;
     corruptions = k * s.corruptions;
   }
 
 let pp ppf s =
   Format.fprintf ppf "%d rounds, %d messages, %d payload entries" s.rounds s.messages
     s.volume;
-  if s.dropped > 0 || s.duplicated > 0 || s.retransmits > 0 || s.corruptions > 0 then
-    Format.fprintf ppf " (%d dropped, %d duplicated, %d retransmits, %d corruptions)"
-      s.dropped s.duplicated s.retransmits s.corruptions
+  if
+    s.dropped > 0 || s.duplicated > 0 || s.retransmits > 0 || s.gave_up > 0
+    || s.corruptions > 0
+  then
+    Format.fprintf ppf
+      " (%d dropped, %d duplicated, %d retransmits, %d gave up, %d corruptions)"
+      s.dropped s.duplicated s.retransmits s.gave_up s.corruptions
 
 let pp_kv ppf s =
   Format.fprintf ppf
     "rounds=%d messages=%d volume=%d dropped=%d duplicated=%d retransmits=%d \
-     corruptions=%d"
-    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits s.corruptions
+     gave_up=%d corruptions=%d"
+    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits s.gave_up
+    s.corruptions
 
 let to_json s =
   Printf.sprintf
-    {|{"rounds":%d,"messages":%d,"volume":%d,"dropped":%d,"duplicated":%d,"retransmits":%d,"corruptions":%d}|}
-    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits s.corruptions
+    {|{"rounds":%d,"messages":%d,"volume":%d,"dropped":%d,"duplicated":%d,"retransmits":%d,"gave_up":%d,"corruptions":%d}|}
+    s.rounds s.messages s.volume s.dropped s.duplicated s.retransmits s.gave_up
+    s.corruptions

@@ -13,6 +13,9 @@ type t = {
                       to a crashed node *)
   duplicated : int;  (** extra copies injected by the faulty channel *)
   retransmits : int;  (** retransmissions issued by the reliable layer *)
+  gave_up : int;
+      (** messages abandoned after the bounded retransmit budget was
+          exhausted — the reliable layer stopped trying *)
   corruptions : int;  (** state blips applied by the fault plan *)
 }
 
@@ -23,6 +26,7 @@ val make :
   ?dropped:int ->
   ?duplicated:int ->
   ?retransmits:int ->
+  ?gave_up:int ->
   ?corruptions:int ->
   rounds:int ->
   messages:int ->

@@ -8,6 +8,7 @@ type event =
   | Drop of { src : int; dst : int }
   | Duplicate of { src : int; dst : int }
   | Retransmit of { src : int; dst : int }
+  | Give_up of { src : int; dst : int }
   | Crash of int
   | Recover of int
   | Phase of { label : string; scale : int }
@@ -16,6 +17,11 @@ type event =
   | Corrupt_state of { node : int; arc : int; slot : int }
   | Detect of { node : int; arc : Arc.id }
   | Recolor of { node : int; arc : Arc.id; slot : int }
+  | Beacon_loss of { node : int; frame : int }
+  | Desync of { node : int; frame : int }
+  | Resync of { node : int; frame : int }
+  | Join of { node : int; parent : int }
+  | Sleep of { node : int; slots : int }
 
 type timed = { t : float; ev : event }
 
@@ -79,6 +85,7 @@ let event_to_json { t; ev } =
   | Drop { src; dst } -> link "drop" src dst
   | Duplicate { src; dst } -> link "duplicate" src dst
   | Retransmit { src; dst } -> link "retransmit" src dst
+  | Give_up { src; dst } -> link "give_up" src dst
   | Crash v -> node "crash" v
   | Recover v -> node "recover" v
   | Phase { label; scale } ->
@@ -96,6 +103,16 @@ let event_to_json { t; ev } =
   | Recolor { node; arc; slot } ->
       Printf.sprintf {|{"ev":"recolor","t":%s,"node":%d,"arc":%d,"slot":%d}|} time node
         arc slot
+  | Beacon_loss { node; frame } ->
+      Printf.sprintf {|{"ev":"beacon_loss","t":%s,"node":%d,"frame":%d}|} time node frame
+  | Desync { node; frame } ->
+      Printf.sprintf {|{"ev":"desync","t":%s,"node":%d,"frame":%d}|} time node frame
+  | Resync { node; frame } ->
+      Printf.sprintf {|{"ev":"resync","t":%s,"node":%d,"frame":%d}|} time node frame
+  | Join { node; parent } ->
+      Printf.sprintf {|{"ev":"join","t":%s,"node":%d,"parent":%d}|} time node parent
+  | Sleep { node; slots } ->
+      Printf.sprintf {|{"ev":"sleep","t":%s,"node":%d,"slots":%d}|} time node slots
 
 let emit sink ~t ev =
   match sink with
@@ -345,6 +362,7 @@ let event_of_json line =
     | "drop" -> Drop { src = json_int "src" j; dst = json_int "dst" j }
     | "duplicate" -> Duplicate { src = json_int "src" j; dst = json_int "dst" j }
     | "retransmit" -> Retransmit { src = json_int "src" j; dst = json_int "dst" j }
+    | "give_up" -> Give_up { src = json_int "src" j; dst = json_int "dst" j }
     | "crash" -> Crash (json_int "node" j)
     | "recover" -> Recover (json_int "node" j)
     | "phase" -> Phase { label = json_str "label" j; scale = json_int "scale" j }
@@ -358,6 +376,11 @@ let event_of_json line =
     | "recolor" ->
         Recolor
           { node = json_int "node" j; arc = json_int "arc" j; slot = json_int "slot" j }
+    | "beacon_loss" -> Beacon_loss { node = json_int "node" j; frame = json_int "frame" j }
+    | "desync" -> Desync { node = json_int "node" j; frame = json_int "frame" j }
+    | "resync" -> Resync { node = json_int "node" j; frame = json_int "frame" j }
+    | "join" -> Join { node = json_int "node" j; parent = json_int "parent" j }
+    | "sleep" -> Sleep { node = json_int "node" j; slots = json_int "slots" j }
     | kind -> failwith (Printf.sprintf "Trace: unknown event kind %S" kind)
   in
   { t; ev }
@@ -402,21 +425,21 @@ type file = {
 }
 
 let stats_of_json j =
-  (* [corruptions] postdates version-1 traces: default 0 so older trace
-     files still load *)
-  let corruptions =
-    match Json.member "corruptions" j with
+  (* [corruptions] and [gave_up] postdate the oldest version-1 traces:
+     default 0 so older trace files still load *)
+  let opt_int name =
+    match Json.member name j with
     | Some (Json.Num f) when Float.is_integer f -> int_of_float f
-    | Some _ -> failwith "Trace: non-integer field \"corruptions\""
+    | Some _ -> failwith (Printf.sprintf "Trace: non-integer field %S" name)
     | None -> 0
   in
   Stats.make ~rounds:(json_int "rounds" j) ~messages:(json_int "messages" j)
     ~volume:(json_int "volume" j) ~dropped:(json_int "dropped" j)
     ~duplicated:(json_int "duplicated" j) ~retransmits:(json_int "retransmits" j)
-    ~corruptions ()
+    ~gave_up:(opt_int "gave_up") ~corruptions:(opt_int "corruptions") ()
 
 let load path =
-  let ic = open_in path in
+  let ic = try open_in path with Sys_error m -> failwith m in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
@@ -498,6 +521,7 @@ module Summary = struct
     drops : int;
     duplicates : int;
     retransmits : int;
+    gave_ups : int;
     crashes : int;
     recoveries : int;
     mis_joins : int;
@@ -505,6 +529,11 @@ module Summary = struct
     corruptions : int;
     detects : int;
     recolors : int;
+    beacon_losses : int;
+    desyncs : int;
+    resyncs : int;
+    joins : int;
+    sleeps : int;
   }
 
   type t = { phases : phase list; events : int }
@@ -519,6 +548,7 @@ module Summary = struct
     mutable a_drops : int;
     mutable a_duplicates : int;
     mutable a_retransmits : int;
+    mutable a_gave_ups : int;
     mutable a_crashes : int;
     mutable a_recoveries : int;
     mutable a_mis_joins : int;
@@ -526,6 +556,11 @@ module Summary = struct
     mutable a_corruptions : int;
     mutable a_detects : int;
     mutable a_recolors : int;
+    mutable a_beacon_losses : int;
+    mutable a_desyncs : int;
+    mutable a_resyncs : int;
+    mutable a_joins : int;
+    mutable a_sleeps : int;
     mutable a_touched : bool;
   }
 
@@ -540,6 +575,7 @@ module Summary = struct
       a_drops = 0;
       a_duplicates = 0;
       a_retransmits = 0;
+      a_gave_ups = 0;
       a_crashes = 0;
       a_recoveries = 0;
       a_mis_joins = 0;
@@ -547,6 +583,11 @@ module Summary = struct
       a_corruptions = 0;
       a_detects = 0;
       a_recolors = 0;
+      a_beacon_losses = 0;
+      a_desyncs = 0;
+      a_resyncs = 0;
+      a_joins = 0;
+      a_sleeps = 0;
       a_touched = false;
     }
 
@@ -567,6 +608,7 @@ module Summary = struct
       drops = a.a_drops;
       duplicates = a.a_duplicates;
       retransmits = a.a_retransmits;
+      gave_ups = a.a_gave_ups;
       crashes = a.a_crashes;
       recoveries = a.a_recoveries;
       mis_joins = a.a_mis_joins;
@@ -574,6 +616,11 @@ module Summary = struct
       corruptions = a.a_corruptions;
       detects = a.a_detects;
       recolors = a.a_recolors;
+      beacon_losses = a.a_beacon_losses;
+      desyncs = a.a_desyncs;
+      resyncs = a.a_resyncs;
+      joins = a.a_joins;
+      sleeps = a.a_sleeps;
     }
 
   let of_events evs =
@@ -608,6 +655,9 @@ module Summary = struct
         | Retransmit _ ->
             a.a_retransmits <- a.a_retransmits + 1;
             a.a_touched <- true
+        | Give_up _ ->
+            a.a_gave_ups <- a.a_gave_ups + 1;
+            a.a_touched <- true
         | Crash _ ->
             a.a_crashes <- a.a_crashes + 1;
             a.a_touched <- true
@@ -628,6 +678,21 @@ module Summary = struct
             a.a_touched <- true
         | Recolor _ ->
             a.a_recolors <- a.a_recolors + 1;
+            a.a_touched <- true
+        | Beacon_loss _ ->
+            a.a_beacon_losses <- a.a_beacon_losses + 1;
+            a.a_touched <- true
+        | Desync _ ->
+            a.a_desyncs <- a.a_desyncs + 1;
+            a.a_touched <- true
+        | Resync _ ->
+            a.a_resyncs <- a.a_resyncs + 1;
+            a.a_touched <- true
+        | Join _ ->
+            a.a_joins <- a.a_joins + 1;
+            a.a_touched <- true
+        | Sleep _ ->
+            a.a_sleeps <- a.a_sleeps + 1;
             a.a_touched <- true)
       evs;
     flush ();
@@ -645,6 +710,7 @@ module Summary = struct
           drops = acc.drops + (k * p.drops);
           duplicates = acc.duplicates + (k * p.duplicates);
           retransmits = acc.retransmits + (k * p.retransmits);
+          gave_ups = acc.gave_ups + (k * p.gave_ups);
           crashes = acc.crashes + p.crashes;
           recoveries = acc.recoveries + p.recoveries;
           mis_joins = acc.mis_joins + p.mis_joins;
@@ -652,6 +718,11 @@ module Summary = struct
           corruptions = acc.corruptions + p.corruptions;
           detects = acc.detects + p.detects;
           recolors = acc.recolors + p.recolors;
+          beacon_losses = acc.beacon_losses + p.beacon_losses;
+          desyncs = acc.desyncs + p.desyncs;
+          resyncs = acc.resyncs + p.resyncs;
+          joins = acc.joins + p.joins;
+          sleeps = acc.sleeps + p.sleeps;
         })
       (close (fresh "total" 1))
       phases
@@ -659,9 +730,13 @@ module Summary = struct
   let pp_phase ppf p =
     Format.fprintf ppf
       "phase=%s scale=%d rounds=%d sends=%d recvs=%d drops=%d duplicates=%d \
-       retransmits=%d crashes=%d mis_joins=%d colors=%d corruptions=%d recolors=%d"
+       retransmits=%d gave_up=%d crashes=%d mis_joins=%d colors=%d corruptions=%d \
+       recolors=%d"
       p.label p.scale p.rounds p.sends p.recvs p.drops p.duplicates p.retransmits
-      p.crashes p.mis_joins p.colors p.corruptions p.recolors
+      p.gave_ups p.crashes p.mis_joins p.colors p.corruptions p.recolors;
+    if p.desyncs > 0 || p.resyncs > 0 || p.joins > 0 || p.beacon_losses > 0 then
+      Format.fprintf ppf " beacon_losses=%d desyncs=%d resyncs=%d joins=%d"
+        p.beacon_losses p.desyncs p.resyncs p.joins
 
   let pp ppf s =
     List.iter (fun p -> Format.fprintf ppf "%a@." pp_phase p) s.phases;
@@ -669,10 +744,10 @@ module Summary = struct
 
   let phase_to_json p =
     Printf.sprintf
-      {|{"label":%s,"scale":%d,"rounds":%d,"sends":%d,"recvs":%d,"drops":%d,"duplicates":%d,"retransmits":%d,"crashes":%d,"recoveries":%d,"mis_joins":%d,"colors":%d,"corruptions":%d,"detects":%d,"recolors":%d}|}
+      {|{"label":%s,"scale":%d,"rounds":%d,"sends":%d,"recvs":%d,"drops":%d,"duplicates":%d,"retransmits":%d,"gave_up":%d,"crashes":%d,"recoveries":%d,"mis_joins":%d,"colors":%d,"corruptions":%d,"detects":%d,"recolors":%d,"beacon_losses":%d,"desyncs":%d,"resyncs":%d,"joins":%d,"sleeps":%d}|}
       (escape_string p.label) p.scale p.rounds p.sends p.recvs p.drops p.duplicates
-      p.retransmits p.crashes p.recoveries p.mis_joins p.colors p.corruptions p.detects
-      p.recolors
+      p.retransmits p.gave_ups p.crashes p.recoveries p.mis_joins p.colors p.corruptions
+      p.detects p.recolors p.beacon_losses p.desyncs p.resyncs p.joins p.sleeps
 
   let to_json s =
     Printf.sprintf {|{"events":%d,"phases":[%s],"totals":%s}|} s.events
@@ -745,7 +820,9 @@ module Replay = struct
     if t.Summary.duplicates <> stats.Stats.duplicated then
       mismatch "duplicated" t.Summary.duplicates stats.Stats.duplicated;
     if t.Summary.retransmits <> stats.Stats.retransmits then
-      mismatch "retransmits" t.Summary.retransmits stats.Stats.retransmits
+      mismatch "retransmits" t.Summary.retransmits stats.Stats.retransmits;
+    if t.Summary.gave_ups <> stats.Stats.gave_up then
+      mismatch "gave_up" t.Summary.gave_ups stats.Stats.gave_up
 
   (* Registry cross-check: the metrics sink the run recorded through must
      agree with the trace-derived totals on every channel counter.  Null
@@ -769,7 +846,9 @@ module Replay = struct
         if t.Summary.duplicates <> s.Stats.duplicated then
           mismatch "duplicated" t.Summary.duplicates s.Stats.duplicated;
         if t.Summary.retransmits <> s.Stats.retransmits then
-          mismatch "retransmits" t.Summary.retransmits s.Stats.retransmits
+          mismatch "retransmits" t.Summary.retransmits s.Stats.retransmits;
+        if t.Summary.gave_ups <> s.Stats.gave_up then
+          mismatch "gave_up" t.Summary.gave_ups s.Stats.gave_up
 
   let check_crashes plan evs =
     let crash_list = Fault.crashes plan in
@@ -962,6 +1041,127 @@ module Replay = struct
           s_converged = converged;
           s_rounds_to_stabilize = rounds_to_stabilize;
           s_schedule = sched;
+        }
+    with Reject msg -> Error msg
+
+  type frames_report = {
+    f_events : int;
+    f_beacon_losses : int;
+    f_desyncs : int;
+    f_resyncs : int;
+    f_joins : int;
+    f_sleeps : int;
+    f_max_lag : float;
+    f_synced_end : bool;
+  }
+
+  (* Frame-protocol replay: verified from the trace alone so traces from
+     any engine (or another implementation of the protocol) check with
+     the same code path.  Per node, [Desync] / [Resync] must alternate,
+     a desync must be preceded by at least [resync_threshold]
+     consecutive beacon losses since the node last held sync, every
+     resync must be accompanied by a [Join] handshake at the same
+     timestamp, and — the convergence bound — no desync may stay
+     unrepaired longer than [resync_threshold] frames of [frame_time]
+     time units each. *)
+  let check_frames ?resync_threshold ?frame_time ?frame_length
+      ?(require_synced = true) evs =
+    try
+      let beacon_losses = ref 0
+      and desyncs = ref 0
+      and resyncs = ref 0
+      and joins = ref 0
+      and sleeps = ref 0 in
+      let max_lag = ref 0. in
+      (* per node: sync state unknown until the first event mentions it *)
+      let desynced_at = Hashtbl.create 16 (* node -> t of open desync *)
+      and synced = Hashtbl.create 16 (* node -> bool *)
+      and losses_since_sync = Hashtbl.create 16
+      and last_join = Hashtbl.create 16 (* node -> t of last Join *) in
+      let window =
+        match (resync_threshold, frame_time) with
+        | Some k, Some ft -> Some (float_of_int k *. ft)
+        | _ -> None
+      in
+      Array.iteri
+        (fun i { t; ev } ->
+          match ev with
+          | Beacon_loss { node; frame = _ } ->
+              incr beacon_losses;
+              if Hashtbl.find_opt synced node = Some false then
+                rejectf "event %d: desynced node %d reported a beacon loss" i node;
+              Hashtbl.replace losses_since_sync node
+                (1 + Option.value ~default:0 (Hashtbl.find_opt losses_since_sync node))
+          | Desync { node; frame } ->
+              incr desyncs;
+              if Hashtbl.find_opt synced node = Some false then
+                rejectf "event %d: node %d desynced twice (frame %d)" i node frame;
+              (match resync_threshold with
+              | Some k
+                when Option.value ~default:0 (Hashtbl.find_opt losses_since_sync node)
+                     < k ->
+                  rejectf
+                    "event %d: node %d desynced after only %d beacon losses \
+                     (threshold %d)"
+                    i node
+                    (Option.value ~default:0 (Hashtbl.find_opt losses_since_sync node))
+                    k
+              | _ -> ());
+              Hashtbl.replace synced node false;
+              Hashtbl.replace desynced_at node t
+          | Resync { node; frame } ->
+              incr resyncs;
+              if Hashtbl.find_opt synced node = Some true then
+                rejectf "event %d: node %d resynced while synced (frame %d)" i node frame;
+              (match Hashtbl.find_opt last_join node with
+              | Some tj when tj = t -> ()
+              | _ ->
+                  rejectf "event %d: node %d resynced without a join handshake at t=%g" i
+                    node t);
+              (match Hashtbl.find_opt desynced_at node with
+              | Some td ->
+                  let lag = t -. td in
+                  max_lag := Float.max !max_lag lag;
+                  (match window with
+                  | Some w when lag > w ->
+                      rejectf
+                        "event %d: node %d took %g time units to resync (bound %g)" i
+                        node lag w
+                  | _ -> ());
+                  Hashtbl.remove desynced_at node
+              | None -> (* initial cold-start join: no open desync *) ());
+              Hashtbl.replace synced node true;
+              Hashtbl.replace losses_since_sync node 0
+          | Join { node; parent } ->
+              incr joins;
+              if node = parent then rejectf "event %d: node %d joined via itself" i node;
+              Hashtbl.replace last_join node t
+          | Sleep { node; slots } ->
+              incr sleeps;
+              if slots < 0 then
+                rejectf "event %d: node %d slept a negative slot count" i node;
+              (match frame_length with
+              | Some fl when slots > fl ->
+                  rejectf "event %d: node %d slept %d slots of a %d-slot frame" i node
+                    slots fl
+              | _ -> ())
+          | _ -> ())
+        evs;
+      if require_synced then
+        Hashtbl.iter
+          (fun node td ->
+            rejectf "node %d still desynced at end of trace (since t=%g)" node td)
+          desynced_at;
+      Ok
+        {
+          f_events = Array.length evs;
+          f_beacon_losses = !beacon_losses;
+          f_desyncs = !desyncs;
+          f_resyncs = !resyncs;
+          f_joins = !joins;
+          f_sleeps = !sleeps;
+          f_max_lag = !max_lag;
+          f_synced_end = Hashtbl.length desynced_at = 0;
         }
     with Reject msg -> Error msg
 end

@@ -34,6 +34,9 @@ type event =
       (** the channel injected a second copy of this transmission *)
   | Retransmit of { src : int; dst : int }
       (** the reliable layer re-sent an unacknowledged frame *)
+  | Give_up of { src : int; dst : int }
+      (** the reliable layer exhausted its bounded retransmit budget and
+          abandoned the message *)
   | Crash of int
   | Recover of int
   | Phase of { label : string; scale : int }
@@ -51,6 +54,20 @@ type event =
       (** [node] flagged its own arc [arc] as conflicting or uncolored *)
   | Recolor of { node : int; arc : Arc.id; slot : int }
       (** repair decision: [node] moved its own arc [arc] to [slot] *)
+  | Beacon_loss of { node : int; frame : int }
+      (** frame runtime: a synced node finished [frame] without hearing
+          a SYNC beacon *)
+  | Desync of { node : int; frame : int }
+      (** frame runtime: [node] missed the resync threshold of
+          consecutive beacons and stopped transmitting data *)
+  | Resync of { node : int; frame : int }
+      (** frame runtime: [node] regained frame sync (always paired with
+          a {!Join} at the same timestamp) *)
+  | Join of { node : int; parent : int }
+      (** frame runtime: the JOIN-slot handshake with [parent] completed *)
+  | Sleep of { node : int; slots : int }
+      (** frame runtime: [node] kept its radio off for [slots] slots of
+          the frame that just ended (energy accounting) *)
 
 type timed = { t : float; ev : event }
 (** [t] is the emitting engine's local clock (the round number for the
@@ -141,7 +158,8 @@ type file = {
 }
 
 val load : string -> file
-(** Raises [Failure] with a line number on malformed input. *)
+(** Raises [Failure] with a line number on malformed input, or with the
+    system message when the file cannot be opened. *)
 
 val save : ?meta:(string * string) list -> ?stats:Stats.t -> string -> timed array -> unit
 
@@ -159,6 +177,7 @@ module Summary : sig
     drops : int;
     duplicates : int;
     retransmits : int;
+    gave_ups : int;  (** {!Give_up} events *)
     crashes : int;
     recoveries : int;
     mis_joins : int;
@@ -166,6 +185,11 @@ module Summary : sig
     corruptions : int;  (** {!Corrupt_state} events (unscaled) *)
     detects : int;
     recolors : int;
+    beacon_losses : int;  (** frame-runtime events (unscaled) *)
+    desyncs : int;
+    resyncs : int;
+    joins : int;
+    sleeps : int;
   }
 
   type t = { phases : phase list; events : int }
@@ -197,9 +221,9 @@ module Replay : sig
         [valid_partial] — a validator independent of whatever structure
         the scheduler used.
       - {b accounting} (when [stats] is given): the scale-weighted
-        per-segment sums of rounds, sends, drops, duplicates and
-        retransmit events must equal the run's aggregate {!Stats.t}
-        fields exactly.
+        per-segment sums of rounds, sends, drops, duplicates,
+        retransmit and give-up events must equal the run's aggregate
+        {!Stats.t} fields exactly.
       - {b crash windows} (when [plan] is given): every {!Crash} /
         {!Recover} event must fall on the plan's crash boundaries, the
         two must alternate per node within a segment, and no {!Send}
@@ -270,4 +294,35 @@ module Replay : sig
       [metrics] additionally requires the trace's {!Detect} and
       {!Recolor} counts to equal the [detects] / [recolorings] counters
       read from the sink's registry under the sink's labels. *)
+
+  type frames_report = {
+    f_events : int;
+    f_beacon_losses : int;
+    f_desyncs : int;
+    f_resyncs : int;
+    f_joins : int;
+    f_sleeps : int;
+    f_max_lag : float;
+        (** worst observed desync-to-resync lag in trace time units *)
+    f_synced_end : bool;  (** no node left desynced at end of trace *)
+  }
+
+  val check_frames :
+    ?resync_threshold:int ->
+    ?frame_time:float ->
+    ?frame_length:int ->
+    ?require_synced:bool ->
+    timed array ->
+    (frames_report, string) result
+  (** Verifies a frame-protocol trace (see [Fdlsp_core.Frame]) without
+      the graph or engine: per node, {!Desync} / {!Resync} must
+      alternate; with [resync_threshold] every desync must be preceded
+      by at least that many {!Beacon_loss} events since the node last
+      held sync (the detection rule); every resync must carry a {!Join}
+      handshake at the same timestamp; with both [resync_threshold] and
+      [frame_time] (one frame's duration in trace time units) no desync
+      may stay open longer than [resync_threshold * frame_time] — the
+      convergence bound; with [frame_length] no {!Sleep} may exceed the
+      frame's slot count.  [require_synced] (default [true]) makes a
+      node that ends the trace desynced an error. *)
 end

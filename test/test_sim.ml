@@ -222,15 +222,18 @@ let contains s sub =
   k = 0 || go 0
 
 let test_stats_printers () =
-  let s = Stats.make ~rounds:2 ~messages:7 ~volume:9 ~dropped:1 ~retransmits:4 () in
+  let s =
+    Stats.make ~rounds:2 ~messages:7 ~volume:9 ~dropped:1 ~retransmits:4 ~gave_up:3 ()
+  in
   Alcotest.(check string)
     "pp_kv is stable"
-    "rounds=2 messages=7 volume=9 dropped=1 duplicated=0 retransmits=4 corruptions=0"
+    "rounds=2 messages=7 volume=9 dropped=1 duplicated=0 retransmits=4 gave_up=3 \
+     corruptions=0"
     (Format.asprintf "%a" Stats.pp_kv s);
   Alcotest.(check string)
     "to_json is flat"
     "{\"rounds\":2,\"messages\":7,\"volume\":9,\"dropped\":1,\"duplicated\":0,\
-     \"retransmits\":4,\"corruptions\":0}"
+     \"retransmits\":4,\"gave_up\":3,\"corruptions\":0}"
     (Stats.to_json s);
   (* the human printer shows fault counters only when nonzero *)
   let clean = Stats.make ~rounds:2 ~messages:7 () in

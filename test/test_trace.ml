@@ -29,6 +29,12 @@ let sample_events =
     ev 3. (Trace.Corrupt_state { node = 1; arc = -1; slot = -1 });
     ev 4. (Trace.Detect { node = 2; arc = 5 });
     ev 4. (Trace.Recolor { node = 2; arc = 5; slot = 1 });
+    ev 5. (Trace.Give_up { src = 0; dst = 2 });
+    ev 6. (Trace.Beacon_loss { node = 3; frame = 7 });
+    ev 6.5 (Trace.Desync { node = 3; frame = 9 });
+    ev 7. (Trace.Join { node = 3; parent = 1 });
+    ev 7. (Trace.Resync { node = 3; frame = 10 });
+    ev 7.25 (Trace.Sleep { node = 3; slots = 4 });
   |]
 
 (* ------------------------------------------------------------------ *)
@@ -172,6 +178,7 @@ let arb_stats =
       ~dropped:(Random.State.int st 500)
       ~duplicated:(Random.State.int st 500)
       ~retransmits:(Random.State.int st 500)
+      ~gave_up:(Random.State.int st 100)
       ~rounds:(Random.State.int st 1000)
       ~messages:(Random.State.int st 10_000)
       ~corruptions:(Random.State.int st 100)
@@ -191,7 +198,7 @@ let prop_stats_json_matches_kv =
                | [ k; v ] -> (k, float_of_string v)
                | _ -> failwith "bad kv pair")
       in
-      List.length kv = 7
+      List.length kv = 8
       && List.for_all
            (fun (k, v) -> Trace.Json.member k j = Some (Trace.Json.Num v))
            kv)
