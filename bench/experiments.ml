@@ -1006,3 +1006,116 @@ let frames cfg =
     "JSON: {\"experiment\":\"frames\",\"seeds\":%d,\"frames\":%d,\"points\":[%s]}\n"
     cfg.seeds horizon
     (Buffer.contents json_points)
+
+(* Long-lived service under sustained batched churn: how many events/sec
+   the incremental repair path sustains, the tail repair latency, and the
+   locality (fraction of arcs a batch touches).  Batch size is the knob:
+   batch=1 is the worst case (every event pays a full repair), larger
+   batches amortize coalescing and graph rebuilds.  Every point also
+   re-checks the headline invariant -- valid and within [Bounds.upper]
+   after every batch. *)
+let serve cfg =
+  Report.section
+    (Printf.sprintf
+       "Service sweep: sustained events/sec, p99 repair latency and locality vs \
+        family x batch size (%d seeds)"
+       cfg.seeds);
+  let families =
+    [
+      ("udg30", fun rng -> fst (Gen.udg rng ~n:30 ~side:5. ~radius:1.4));
+      ("gnp40", fun rng -> Gen.gnp rng ~n:40 ~p:0.08);
+    ]
+  in
+  let families = take_smoke cfg 1 families in
+  let batch_sizes = if cfg.smoke then [ 8 ] else [ 1; 8; 32 ] in
+  let events = if cfg.smoke then 96 else 800 in
+  let json_points = Buffer.create 512 in
+  let rows =
+    List.concat_map
+      (fun (fam, make) ->
+        List.map
+          (fun bsz ->
+            let labels = [ ("family", fam); ("batch", string_of_int bsz) ] in
+            let m = msink cfg labels in
+            let total_events = ref 0 in
+            let total_secs = ref 0. in
+            let total_recolored = ref 0 in
+            let touched = ref [] in
+            let slots = ref [] in
+            for k = 0 to cfg.seeds - 1 do
+              let g = make (rng_for cfg k) in
+              let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+              let svc = Service.create ~metrics:m sched in
+              let stream =
+                Service.synth svc ~seed:(cfg.base_seed + (17 * k)) ~events
+                  ~batch:bsz
+              in
+              let t0 = Unix.gettimeofday () in
+              List.iter
+                (fun evs ->
+                  let b = Service.apply svc evs in
+                  touched := b.Service.b_touched_frac :: !touched;
+                  if not (Schedule.valid (Service.schedule svc)) then
+                    failwith "bench serve: invalid schedule after batch";
+                  if Service.num_slots svc > Bounds.upper (Service.graph svc)
+                  then failwith "bench serve: slot budget exceeded")
+                stream;
+              total_secs := !total_secs +. (Unix.gettimeofday () -. t0);
+              let t = Service.totals svc in
+              total_events := !total_events + t.Service.events;
+              total_recolored := !total_recolored + t.Service.recolored;
+              slots := float_of_int (Service.num_slots svc) :: !slots
+            done;
+            let eps = float_of_int !total_events /. Float.max !total_secs 1e-9 in
+            let touched_frac = Report.mean !touched in
+            let p50, p99 =
+              match
+                Metrics.histogram ~labels cfg.metrics
+                  "fdlsp_service_repair_seconds"
+              with
+              | Some h when Metrics.Hist.count h > 0 ->
+                  ( Metrics.Hist.quantile h 0.5 *. 1000.,
+                    Metrics.Hist.quantile h 0.99 *. 1000. )
+              | _ -> (0., 0.)
+            in
+            let recol_per_event =
+              float_of_int !total_recolored /. float_of_int (max 1 !total_events)
+            in
+            let mean_slots = Report.mean !slots in
+            Metrics.gauge m "fdlsp_bench_serve_events_per_sec" eps;
+            Metrics.gauge m "fdlsp_bench_serve_p99_repair_ms" p99;
+            Metrics.gauge m "fdlsp_bench_serve_touched_frac" touched_frac;
+            if Buffer.length json_points > 0 then Buffer.add_char json_points ',';
+            Buffer.add_string json_points
+              (Printf.sprintf
+                 "{\"family\":\"%s\",\"batch\":%d,\"events_per_sec\":%.0f,\
+                  \"repair_ms_p50\":%.4f,\"repair_ms_p99\":%.4f,\
+                  \"touched_frac\":%.4f,\"recolored_per_event\":%.2f,\
+                  \"slots\":%.1f}"
+                 fam bsz eps p50 p99 touched_frac recol_per_event mean_slots);
+            [
+              fam;
+              string_of_int bsz;
+              Printf.sprintf "%.0f" eps;
+              Printf.sprintf "%.4f" p50;
+              Printf.sprintf "%.4f" p99;
+              Printf.sprintf "%.4f" touched_frac;
+              Report.f1 recol_per_event;
+              Report.f1 mean_slots;
+            ])
+          batch_sizes)
+      families
+  in
+  print_string
+    (Report.table
+       ~header:
+         [
+           "family"; "batch"; "events/s"; "p50_ms"; "p99_ms"; "touched";
+           "recol/ev"; "slots";
+         ]
+       rows);
+  print_newline ();
+  Printf.printf
+    "JSON: {\"experiment\":\"serve\",\"seeds\":%d,\"events\":%d,\"points\":[%s]}\n"
+    cfg.seeds events
+    (Buffer.contents json_points)

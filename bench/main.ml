@@ -26,6 +26,7 @@ let experiments =
     ("phases", Experiments.phases);
     ("stabilize", Experiments.stabilize);
     ("frames", Experiments.frames);
+    ("serve", Experiments.serve);
     ("ablation", Experiments.ablation);
     ( "timing",
       fun (cfg : Experiments.config) ->
@@ -38,7 +39,10 @@ let experiments =
 
 (* Representative corner of the suite that CI can afford on every push. *)
 let smoke_experiments =
-  [ "table1"; "fig8"; "fig13"; "faults"; "phases"; "stabilize"; "frames"; "timing" ]
+  [
+    "table1"; "fig8"; "fig13"; "faults"; "phases"; "stabilize"; "frames";
+    "serve"; "timing";
+  ]
 
 let names_arg =
   let all = List.map fst experiments in

@@ -55,6 +55,11 @@ expect_usage "frames drift above bound" "$cli" frames -g cycle:8 --drift=0.6
 expect_usage "frames malformed blip" "$cli" frames -g cycle:8 --blip=3
 expect_usage "frames blip at frame 0" "$cli" frames -g cycle:8 --blip=3:0
 expect_usage "frames short slot" "$cli" frames -g cycle:8 --slot-duration=1
+expect_usage "serve zero synth" "$cli" serve -g cycle:8 --synth=0
+expect_usage "serve malformed synth" "$cli" serve -g cycle:8 --synth=many
+expect_usage "serve negative batch" "$cli" serve -g cycle:8 --synth=4 --batch=-2
+expect_usage "serve malformed batch" "$cli" serve -g cycle:8 --synth=4 --batch=x
+expect_usage "serve malformed query" "$cli" serve -g cycle:8 --query=5
 
 if ! "$cli" schedule -g cycle:8 -o /dev/null; then
   echo "FAIL [good invocation]: non-zero exit" >&2
@@ -76,6 +81,14 @@ for fmt in kv json prom; do
 done
 if ! "$cli" schedule -g cycle:8 --metrics kv -o /dev/null; then
   echo "FAIL [good schedule --metrics]: non-zero exit" >&2
+  fails=1
+fi
+if ! "$cli" serve -g cycle:8 --synth 10 --batch 4 --check -o /dev/null; then
+  echo "FAIL [good serve synth]: non-zero exit" >&2
+  fails=1
+fi
+if ! "$cli" serve -g cycle:8 --query 0:1 --query 3:7 -o /dev/null; then
+  echo "FAIL [good serve query]: non-zero exit" >&2
   fails=1
 fi
 # Same seeded run, dumped twice: apart from the wall-clock profiling

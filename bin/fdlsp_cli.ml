@@ -9,7 +9,8 @@
      stabilize - corrupt a schedule in flight and reconverge
      frames    - run a schedule as a realistic TDMA superframe
      trace     - record / replay-check / summarize event traces
-     metrics   - run an algorithm and dump its metrics registry *)
+     metrics   - run an algorithm and dump its metrics registry
+     serve     - long-lived scheduling service over a churn stream *)
 
 open Cmdliner
 open Fdlsp_graph
@@ -149,18 +150,20 @@ let build_spec seed = function
   | Path n -> Gen.path n
   | Grid (r, c) -> Gen.grid r c
 
+let spec_opt_arg =
+  let doc =
+    "Generate the input graph: udg:n,side,radius | gnm:n,m | gnp:n,p | tree:n | \
+     complete:n | bipartite:a,b | cycle:n | path:n | grid:r,c."
+  in
+  Arg.(value & opt (some spec_conv) None & info [ "g"; "generate" ] ~docv:"SPEC" ~doc)
+
+let input_opt_arg =
+  let doc = "Read the input graph from $(docv) ('n m' header + edge lines)." in
+  Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+
 let graph_source =
-  let spec =
-    let doc =
-      "Generate the input graph: udg:n,side,radius | gnm:n,m | gnp:n,p | tree:n | \
-       complete:n | bipartite:a,b | cycle:n | path:n | grid:r,c."
-    in
-    Arg.(value & opt (some spec_conv) None & info [ "g"; "generate" ] ~docv:"SPEC" ~doc)
-  in
-  let file =
-    let doc = "Read the input graph from $(docv) ('n m' header + edge lines)." in
-    Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
-  in
+  let spec = spec_opt_arg in
+  let file = input_opt_arg in
   let combine spec file seed =
     match (spec, file) with
     | Some s, None -> Ok (build_spec seed s)
@@ -976,6 +979,211 @@ let metrics_cmd =
           histograms and timelines) in kv, JSON or Prometheus format")
     Term.(const run $ graph_source $ algo $ seed_arg $ format $ out_arg $ verbose_arg)
 
+(* --- serve ------------------------------------------------------------ *)
+
+(* "u:v" arc endpoints for --query; malformed input dies through
+   [die_usage] with exit 2 like every other argument. *)
+let arc_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ u; v ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v when u >= 0 && v >= 0 -> Ok (u, v)
+        | _ ->
+            die_usage
+              (Printf.sprintf "--query expects U:V with non-negative integers, got %S" s))
+    | _ -> die_usage (Printf.sprintf "--query expects U:V, got %S" s)
+  in
+  Arg.conv (parse, fun ppf (u, v) -> Format.fprintf ppf "%d:%d" u v)
+
+(* JSONL event stream -> batches: {"ev":"flush"} forces a boundary,
+   --batch K > 0 additionally closes every K events. *)
+let read_event_batches path ~batch =
+  let text =
+    try
+      if path = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text path In_channel.input_all
+    with Sys_error m -> or_die (Error m)
+  in
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let batches = ref [] and cur = ref [] and count = ref 0 in
+  let close () =
+    if !cur <> [] then begin
+      batches := List.rev !cur :: !batches;
+      cur := [];
+      count := 0
+    end
+  in
+  List.iter
+    (fun line ->
+      match Service.line_of_string line with
+      | exception Failure m -> or_die (Error m)
+      | `Flush -> close ()
+      | `Event e ->
+          cur := e :: !cur;
+          incr count;
+          if batch > 0 && !count >= batch then close ())
+    lines;
+  close ();
+  List.rev !batches
+
+let serve_cmd =
+  let events_arg =
+    let doc = "Read JSONL churn events from $(docv) ('-' for stdin)." in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let synth_arg =
+    let doc = "Generate $(docv) seeded synthetic churn events instead of reading a file." in
+    Arg.(value & opt (some (checked_int ~min:1 "--synth")) None & info [ "synth" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Batch size: close a batch every $(docv) events (0 = only at flush markers; \
+       synthetic streams default to 8)."
+    in
+    Arg.(value & opt (checked_int ~min:0 "--batch") 0 & info [ "batch" ] ~docv:"K" ~doc)
+  in
+  let snapshot_arg =
+    let doc = "Write a checksummed service snapshot to $(docv) after the stream." in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let restore_arg =
+    let doc = "Start from a snapshot instead of a graph (exclusive with -g/-i)." in
+    Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"FILE" ~doc)
+  in
+  let query_arg =
+    let doc = "After the stream, print the slot of arc $(docv) (repeatable)." in
+    Arg.(value & opt_all arc_conv [] & info [ "query" ] ~docv:"U:V" ~doc)
+  in
+  let check_flag =
+    let doc = "Re-validate the schedule after every batch (exit 1 on violation)." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let json =
+    let doc = "Emit the summary as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run spec file seed events_file synth batch snap restore queries check json out
+      verbose =
+    setup_logs verbose;
+    let reg = Metrics.create () in
+    let msink = Metrics.sink reg in
+    let svc =
+      match (restore, spec, file) with
+      | Some _, Some _, _ | Some _, _, Some _ ->
+          or_die (Error "--restore is mutually exclusive with --generate/--input")
+      | Some path, None, None -> (
+          let text =
+            try In_channel.with_open_text path In_channel.input_all
+            with Sys_error m -> or_die (Error m)
+          in
+          try Service.restore ~metrics:msink text with Failure m -> or_die (Error m))
+      | None, _, _ ->
+          let g =
+            match (spec, file) with
+            | Some s, None -> build_spec seed s
+            | None, Some path -> (
+                try Io.read_file path with Failure m -> or_die (Error m))
+            | None, None ->
+                or_die (Error "one of --generate, --input or --restore is required")
+            | Some _, Some _ ->
+                or_die (Error "--generate and --input are mutually exclusive")
+          in
+          Service.create ~metrics:msink (Dfs_sched.run g).Dfs_sched.schedule
+    in
+    let batches =
+      match (events_file, synth) with
+      | Some _, Some _ -> or_die (Error "--events and --synth are mutually exclusive")
+      | Some path, None -> read_event_batches path ~batch
+      | None, Some n ->
+          Service.synth svc ~seed ~events:n ~batch:(if batch = 0 then 8 else batch)
+      | None, None -> []
+    in
+    List.iter
+      (fun evs ->
+        (match Service.apply svc evs with
+        | exception Invalid_argument m -> or_die (Error m)
+        | (_ : Service.batch) -> ());
+        if check && not (Schedule.valid (Service.schedule svc)) then
+          or_die (Error "schedule invalid after batch"))
+      batches;
+    (match snap with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Service.snapshot svc))
+    | None -> ());
+    let t = Service.totals svc in
+    let g = Service.graph svc in
+    let valid = Schedule.valid (Service.schedule svc) in
+    let hist = Metrics.histogram reg "fdlsp_service_repair_seconds" in
+    let quant q =
+      match hist with
+      | Some h when Metrics.Hist.count h > 0 -> Metrics.Hist.quantile h q *. 1000.
+      | _ -> Float.nan
+    in
+    let repair_secs = match hist with Some h -> Metrics.Hist.sum h | None -> 0. in
+    let events_per_sec =
+      if repair_secs > 0. then float_of_int t.Service.events /. repair_secs else 0.
+    in
+    let num_or_null f = if Float.is_nan f then "null" else Printf.sprintf "%g" f in
+    let buf = Buffer.create 256 in
+    if json then begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"nodes\":%d,\"live\":%d,\"links\":%d,\"slots\":%d,\"valid\":%b,\
+            \"batches\":%d,\"events\":%d,\"ops\":%d,\"recolored\":%d,\
+            \"events_per_sec\":%s,\"repair_ms_p50\":%s,\"repair_ms_p99\":%s,\"queries\":["
+           (Service.nodes svc) (Service.live svc) (Graph.m g) (Service.num_slots svc)
+           valid t.Service.batches t.Service.events t.Service.ops t.Service.recolored
+           (num_or_null events_per_sec)
+           (num_or_null (quant 0.5))
+           (num_or_null (quant 0.99)));
+      List.iteri
+        (fun i (u, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (match Service.slot_of_arc svc u v with
+            | Some c -> Printf.sprintf "{\"u\":%d,\"v\":%d,\"slot\":%d}" u v c
+            | None -> Printf.sprintf "{\"u\":%d,\"v\":%d,\"slot\":null}" u v))
+        queries;
+      Buffer.add_string buf "]}\n"
+    end
+    else begin
+      Buffer.add_string buf
+        (Printf.sprintf
+           "nodes=%d live=%d links=%d slots=%d valid=%b batches=%d events=%d ops=%d \
+            recolored=%d events_per_sec=%s repair_ms_p50=%s repair_ms_p99=%s\n"
+           (Service.nodes svc) (Service.live svc) (Graph.m g) (Service.num_slots svc)
+           valid t.Service.batches t.Service.events t.Service.ops t.Service.recolored
+           (num_or_null events_per_sec)
+           (num_or_null (quant 0.5))
+           (num_or_null (quant 0.99)));
+      List.iter
+        (fun (u, v) ->
+          Buffer.add_string buf
+            (match Service.slot_of_arc svc u v with
+            | Some c -> Printf.sprintf "arc %d->%d slot=%d\n" u v c
+            | None -> Printf.sprintf "arc %d->%d none\n" u v))
+        queries
+    end;
+    emit out (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived scheduling service over a batched churn stream \
+          (join/leave/move/degrade JSONL or seeded synthetic events), with \
+          snapshot/restore and O(1) slot queries")
+    Term.(
+      const run $ spec_opt_arg $ input_opt_arg $ seed_arg $ events_arg $ synth_arg
+      $ batch_arg $ snapshot_arg $ restore_arg $ query_arg $ check_flag $ json $ out_arg
+      $ verbose_arg)
+
 (* --- bounds ----------------------------------------------------------- *)
 
 let bounds_cmd =
@@ -1056,4 +1264,5 @@ let () =
             frames_cmd;
             trace_cmd;
             metrics_cmd;
+            serve_cmd;
           ]))

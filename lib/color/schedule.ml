@@ -23,6 +23,7 @@ let num_slots t =
 
 let max_color t = Array.fold_left max (-1) t.colors
 let colors t = Array.copy t.colors
+let equal a b = Graph.equal a.graph b.graph && a.colors = b.colors
 
 let of_colors g cs =
   if Array.length cs <> Arc.count g then invalid_arg "Schedule.of_colors: length mismatch";

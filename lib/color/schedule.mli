@@ -36,6 +36,10 @@ val max_color : t -> int
 val colors : t -> int array
 (** A copy of the raw color array, indexed by arc id. *)
 
+val equal : t -> t -> bool
+(** Exact equality: same graph ({!Fdlsp_graph.Graph.equal}) and
+    identical color assignment (not up to renaming). *)
+
 val of_colors : Graph.t -> int array -> t
 (** Wraps an arc-indexed color array (validated for length and
     [>= -1] entries). *)

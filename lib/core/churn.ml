@@ -51,18 +51,21 @@ let event_stream plan =
       | c -> c)
     !items
 
+(* Every crash/recovery is one single-event batch through the service
+   coalescer and repair path — the same code `fdlsp serve` and
+   `bench serve` run, so the two report identical repair-op counts.
+   The refine pass stays off: this driver's whole point is measuring
+   raw churn-induced slot drift against the from-scratch yardstick. *)
 let run sched plan =
-  let state = Repair.of_schedule sched in
-  let g0 = Repair.graph state in
+  let svc = Service.create ~refine:false sched in
+  let g0 = Service.graph svc in
   let n = Graph.n g0 in
   let original_nbrs = Array.init n (fun v -> Graph.neighbors g0 v) in
-  let alive = Array.make n true in
-  let initial_slots = Repair.num_slots state in
-  let state = ref state in
+  let initial_slots = Service.num_slots svc in
   let events = ref [] in
   let record time kind node recolored =
-    let slots = Repair.num_slots !state in
-    let valid = Result.is_ok (Schedule.validate (Repair.schedule !state)) in
+    let slots = Service.num_slots svc in
+    let valid = Schedule.valid (Service.schedule svc) in
     Log.debug (fun m ->
         m "t=%g %s node %d: %d recolored, %d slots%s" time
           (match kind with Crash -> "crash" | Recover -> "recover")
@@ -76,26 +79,24 @@ let run sched plan =
         invalid_arg (Printf.sprintf "Churn.run: crash names unknown node %d" node);
       match kind with
       | Crash ->
-          if alive.(node) then begin
-            alive.(node) <- false;
-            state := Repair.remove_node !state node;
-            record time Crash node 0
+          if Service.alive svc node then begin
+            let b = Service.apply svc [ Service.Leave node ] in
+            record time Crash node b.Service.b_recolored
           end
       | Recover ->
-          if not alive.(node) then begin
-            alive.(node) <- true;
+          if not (Service.alive svc node) then begin
             let nbrs = Array.to_list original_nbrs.(node) in
-            let nbrs = List.filter (fun w -> alive.(w)) nbrs in
-            let next, recolored = Repair.move_node !state node ~new_neighbors:nbrs in
-            state := next;
-            record time Recover node recolored
+            let nbrs = List.filter (fun w -> Service.alive svc w) nbrs in
+            let b = Service.apply svc [ Service.Move { node; neighbors = nbrs } ] in
+            record time Recover node b.Service.b_recolored
           end)
     (event_stream plan);
   let events = List.rev !events in
   {
     initial_slots;
-    final_slots = Repair.num_slots !state;
-    recompute_slots = Repair.recompute !state;
+    final_slots = Service.num_slots svc;
+    recompute_slots =
+      Schedule.num_slots (Dfs_sched.run (Service.graph svc)).Dfs_sched.schedule;
     total_recolored = List.fold_left (fun acc e -> acc + e.recolored) 0 events;
     plan_seed = Fault.seed plan;
     plan_crashes = List.length (Fault.crashes plan);

@@ -1,14 +1,18 @@
 (** Crash/recovery churn driver: wires the crash windows of a
-    {!Fdlsp_sim.Fault.plan} to the local repair rules of {!Repair}.
+    {!Fdlsp_sim.Fault.plan} to the incremental repair path of
+    {!Service}.
 
     Starting from a valid schedule, the driver replays the plan's crash
-    events in time order: a crash removes the node's links
-    ({!Repair.remove_node}, validity is monotone), a recovery re-attaches
-    the node to those of its original neighbors that are alive at that
-    moment ({!Repair.move_node}, first-fit against distance-2 knowledge).
-    Every step records the repair locality (arcs recolored) and the slot
-    count, so the report quantifies both churn-induced slot drift and how
-    local the repairs stayed. *)
+    events in time order, each as a single-event batch through the
+    service coalescer: a crash is a [Leave] (the node's links drop,
+    validity is monotone), a recovery is a [Move] back onto those of
+    its original neighbors that are alive at that moment (first-fit
+    against distance-2 knowledge).  Routing through {!Service} means
+    the repair-op counts here and in [bench serve] come from the same
+    code path.  The service's refine pass is disabled so the report
+    still measures raw churn-induced slot drift against the
+    from-scratch yardstick.  Every step records the repair locality
+    (arcs recolored) and the slot count. *)
 
 open Fdlsp_color
 

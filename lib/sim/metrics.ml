@@ -276,6 +276,13 @@ module Name = struct
   let frame_resyncs = "fdlsp_frame_resyncs_total"
   let frame_desyncs = "fdlsp_frame_desyncs_total"
   let frame_collisions = "fdlsp_frame_collisions_total"
+  let service_events = "fdlsp_service_events_total"
+  let service_ops = "fdlsp_service_ops_total"
+  let service_batches = "fdlsp_service_batches_total"
+  let service_recolored = "fdlsp_service_recolored_total"
+  let service_batch_size = "fdlsp_service_batch_size"
+  let service_repair = "fdlsp_service_repair"
+  let service_touched_frac = "fdlsp_service_touched_frac"
 end
 
 (* Record a whole [Stats.t] through the sink: the engines call this once

@@ -211,4 +211,23 @@ module Name : sig
   val frame_resyncs : string
   val frame_desyncs : string
   val frame_collisions : string
+
+  val service_events : string
+  (** Counter: raw events ingested by the scheduling service. *)
+
+  val service_ops : string
+  (** Counter: net operations applied after batch coalescing. *)
+
+  val service_batches : string
+  val service_recolored : string
+  (** Counter: arc colorings across all incremental repairs. *)
+
+  val service_batch_size : string  (** Histogram: raw events per batch. *)
+
+  val service_repair : string
+  (** {!timed} prefix for one batch repair — the latency histogram is
+      ["fdlsp_service_repair_seconds"]. *)
+
+  val service_touched_frac : string
+  (** Gauge: fraction of arcs written by the last batch (locality). *)
 end

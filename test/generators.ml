@@ -98,6 +98,45 @@ let is_tree g = Graph.m g = Graph.n g - 1 && Traversal.is_connected g
 let arb_tree ?(min_n = 2) ?(max_n = 60) () =
   make ~keep:is_tree (fun st -> Gen.random_tree st (min_n + Random.State.int st max_n))
 
+(* ------------------------------------------------------------------ *)
+(* Service churn hints                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Abstract churn events for {!Fdlsp_core.Service} properties.  A hint
+   carries raw picks (to be taken modulo the live/dead/edge population
+   at realization time) instead of concrete node ids, so the same value
+   stays meaningful as the service state evolves — and, crucially, so
+   QCheck2's integrated shrinking applies: hints are built from plain
+   [int]/[list] generators, and a shrunk hint list is still a valid
+   churn script.  Test files realize hints into [Service.event]s against
+   the live state (see test_service.ml). *)
+type service_hint =
+  | H_join of int list  (* fresh node; picks select live neighbors *)
+  | H_rejoin of int * int list  (* revive the k-th dead ghost *)
+  | H_leave of int  (* k-th live node leaves *)
+  | H_move of int * int list  (* k-th live node re-homes *)
+  | H_degrade of int  (* k-th existing link degrades *)
+
+let gen_service_hint =
+  let open QCheck2.Gen in
+  let pick = nat in
+  let picks = list_size (int_bound 3) pick in
+  oneof
+    [
+      map (fun ks -> H_join ks) picks;
+      map2 (fun k ks -> H_rejoin (k, ks)) pick picks;
+      map (fun k -> H_leave k) pick;
+      map2 (fun k ks -> H_move (k, ks)) pick picks;
+      map (fun k -> H_degrade k) pick;
+    ]
+
+(* A churn script: batches of hints.  Shrinks by dropping batches,
+   dropping hints within a batch, and shrinking individual hints. *)
+let gen_service_batches ?(max_batches = 6) ?(max_events = 8) () =
+  QCheck2.Gen.(
+    list_size (int_bound max_batches)
+      (list_size (int_bound max_events) gen_service_hint))
+
 let arb_connected ?(max_n = 25) () =
   make ~keep:Traversal.is_connected (fun st ->
       let n = 3 + Random.State.int st max_n in

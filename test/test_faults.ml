@@ -383,6 +383,54 @@ let test_churn_overlapping_windows_collapse () =
   Alcotest.(check int) "collapsed to one crash + one recovery" 2
     (List.length r.Churn.events)
 
+(* Churn routes through the service coalescer, so replaying the report's
+   effective events through a bare refine-free Service must reproduce the
+   repair-op counts exactly — `fdlsp faults` and `bench serve` agree. *)
+let test_churn_service_reconcile () =
+  let g = fst (Gen.udg (Random.State.make [| 52 |]) ~n:25 ~side:4. ~radius:1.) in
+  let sched = (Dfs_sched.run g).Dfs_sched.schedule in
+  let plan =
+    Fault.make
+      ~crashes:
+        [
+          { Fault.node = 2; at = 1.; until = Some 5. };
+          { Fault.node = 9; at = 2.; until = Some 4. };
+          { Fault.node = 14; at = 3.; until = None };
+        ]
+      ()
+  in
+  let r = Churn.run sched plan in
+  let svc = Service.create ~refine:false sched in
+  let original = Array.init (Graph.n g) (fun v -> Graph.neighbors g v) in
+  let total =
+    List.fold_left
+      (fun acc (e : Churn.event) ->
+        let b =
+          match e.Churn.kind with
+          | Churn.Crash -> Service.apply svc [ Service.Leave e.Churn.node ]
+          | Churn.Recover ->
+              let nbrs =
+                List.filter (Service.alive svc)
+                  (Array.to_list original.(e.Churn.node))
+              in
+              Service.apply svc
+                [ Service.Move { node = e.Churn.node; neighbors = nbrs } ]
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "recolored agrees at t=%g" e.Churn.time)
+          e.Churn.recolored b.Service.b_recolored;
+        Alcotest.(check int)
+          (Printf.sprintf "slots agree at t=%g" e.Churn.time)
+          e.Churn.slots b.Service.b_slots;
+        acc + b.Service.b_recolored)
+      0 r.Churn.events
+  in
+  Alcotest.(check int) "total recolored agrees" r.Churn.total_recolored total;
+  Alcotest.(check int) "final slots agree" r.Churn.final_slots
+    (Service.num_slots svc);
+  Alcotest.(check bool) "final schedule valid" true
+    (Schedule.valid (Service.schedule svc))
+
 (* Randomized churn on the repair layer itself: interleaved node/edge
    add/remove on UDG and G(n,p); the schedule must validate after every
    step and ghost ids must stay stable. *)
@@ -571,6 +619,8 @@ let () =
           Alcotest.test_case "crash/recover driver" `Quick test_churn_driver;
           Alcotest.test_case "overlapping windows collapse" `Quick
             test_churn_overlapping_windows_collapse;
+          Alcotest.test_case "reconciles with the service" `Quick
+            test_churn_service_reconcile;
           Alcotest.test_case "randomized repair churn" `Quick test_repair_random_churn;
           prop_repair_interleavings;
         ] );

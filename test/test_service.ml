@@ -1,0 +1,338 @@
+(* Differential-oracle suite for the long-lived scheduling service.
+
+   The headline invariant: after EVERY batch of churn the incremental
+   schedule is Definition-2 valid and within [Bounds.upper] slots of the
+   current graph — the same Lemma-6 budget a from-scratch first-fit
+   obeys on that graph.  Properties drive the service with abstract
+   churn hints (Generators.service_hint, realized against the evolving
+   live state so shrinking stays meaningful) over four graph families,
+   and diff every step against the from-scratch Greedy oracle.
+
+   Also here: the coalescer's unit contract, the provably-zero-touch
+   empty-batch fast path (pinned through the metrics gauge), and the
+   snapshot/restore round-trip — restore + replay-tail must be
+   state-identical to the run that never snapshotted, and tampered
+   snapshots must be rejected. *)
+
+open Fdlsp_graph
+open Fdlsp_color
+open Fdlsp_core
+module Metrics = Fdlsp_sim.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Hint realization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pick xs k = List.nth xs (k mod List.length xs)
+
+(* Realize one batch of abstract hints into concrete events against the
+   service's current state.  Fresh joins take consecutive ids from
+   [Service.nodes]; picks are taken modulo the live/dead/edge
+   populations; unrealizable hints (no dead ghost to revive, no link to
+   degrade) drop out. *)
+let realize_batch svc hints =
+  let n0 = Service.nodes svc in
+  let ids = List.init n0 Fun.id in
+  let live = List.filter (Service.alive svc) ids in
+  let dead = List.filter (fun v -> not (Service.alive svc v)) ids in
+  let g = Service.graph svc in
+  let m = Graph.m g in
+  let fresh = ref 0 in
+  let neighbors_for self ks =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun k -> if live = [] then None else
+            let v = pick live k in
+            if v = self then None else Some v)
+         ks)
+  in
+  List.filter_map
+    (fun hint ->
+      match (hint : Generators.service_hint) with
+      | H_join ks ->
+          let node = n0 + !fresh in
+          incr fresh;
+          Some (Service.Join { node; neighbors = neighbors_for node ks })
+      | H_rejoin (k, ks) ->
+          if dead = [] then None
+          else
+            let node = pick dead k in
+            Some (Service.Join { node; neighbors = neighbors_for node ks })
+      | H_leave k -> if live = [] then None else Some (Service.Leave (pick live k))
+      | H_move (k, ks) ->
+          if live = [] then None
+          else
+            let node = pick live k in
+            Some (Service.Move { node; neighbors = neighbors_for node ks })
+      | H_degrade k ->
+          if m = 0 then None
+          else
+            let u, v = Graph.edge_endpoints g (k mod m) in
+            Some (Service.Degrade { u; v }))
+    hints
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One churn script against one starting graph: after every batch the
+   incremental schedule must validate, answer queries consistently, and
+   stay within the slot budget the from-scratch oracle obeys on the same
+   graph. *)
+let oracle_holds (g, scripts) =
+  let svc = Service.create (Greedy.color g) in
+  List.for_all
+    (fun hints ->
+      let evs = realize_batch svc hints in
+      let b = Service.apply svc evs in
+      let g' = Service.graph svc in
+      let ub = Bounds.upper g' in
+      let sched = Service.schedule svc in
+      let queries_agree =
+        let ok = ref true in
+        Array.iteri
+          (fun e (u, v) ->
+            ignore e;
+            (match Service.slot_of_arc svc u v with
+            | Some s -> if s <> Schedule.get sched (Arc.make g' u v) then ok := false
+            | None -> ok := false);
+            match Service.slot_of_arc svc v u with
+            | Some s -> if s <> Schedule.get sched (Arc.make g' v u) then ok := false
+            | None -> ok := false)
+          (Graph.edges g');
+        !ok
+      in
+      let oracle = Greedy.color g' in
+      Schedule.valid sched
+      && b.Service.b_slots = Schedule.num_slots sched
+      && Service.num_slots svc <= ub
+      && queries_agree
+      && Schedule.valid oracle
+      && Schedule.num_slots oracle <= ub)
+    scripts
+
+let with_scripts arb =
+  QCheck2.Gen.pair arb (Generators.gen_service_batches ())
+
+let prop_oracle_gnp =
+  Generators.qtest "service oracle: gnp" ~count:150
+    (with_scripts (Generators.arb_gnp ~max_n:14 ()))
+    oracle_holds
+
+let prop_oracle_udg =
+  Generators.qtest "service oracle: udg" ~count:100
+    (with_scripts (Generators.arb_udg ()))
+    oracle_holds
+
+let prop_oracle_tree =
+  Generators.qtest "service oracle: tree" ~count:100
+    (with_scripts (Generators.arb_tree ~max_n:30 ()))
+    oracle_holds
+
+let prop_oracle_connected =
+  Generators.qtest "service oracle: connected" ~count:100
+    (with_scripts (Generators.arb_connected ~max_n:16 ()))
+    oracle_holds
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Straight-through vs snapshot-at-k + replay-tail: exact state equality
+   (schedule colors, alive set, totals — Service.equal), for every
+   prefix length.  Events are realized once against the straight run so
+   both sides replay the identical concrete stream. *)
+let snapshot_roundtrip (g, scripts) =
+  let straight = Service.create (Greedy.color g) in
+  let concrete =
+    List.map
+      (fun hints ->
+        let evs = realize_batch straight hints in
+        ignore (Service.apply straight evs);
+        evs)
+      scripts
+  in
+  let nb = List.length concrete in
+  List.for_all
+    (fun k ->
+      let a = Service.create (Greedy.color g) in
+      List.iteri (fun i evs -> if i < k then ignore (Service.apply a evs)) concrete;
+      let b = Service.restore (Service.snapshot a) in
+      List.iteri (fun i evs -> if i >= k then ignore (Service.apply b evs)) concrete;
+      Service.equal b straight)
+    (List.init (nb + 1) Fun.id)
+
+let prop_snapshot =
+  Generators.qtest "snapshot+replay-tail = straight-through" ~count:60
+    (with_scripts (Generators.arb_connected ~max_n:12 ()))
+    snapshot_roundtrip
+
+let test_snapshot_tamper () =
+  let g = Gen.cycle 8 in
+  let svc = Service.create (Greedy.color g) in
+  ignore
+    (Service.apply svc
+       [ Service.Join { node = 8; neighbors = [ 0; 3 ] }; Service.Leave 5 ]);
+  let snap = Service.snapshot svc in
+  (* restore of the untampered blob round-trips *)
+  Alcotest.(check bool) "clean restore equal" true
+    (Service.equal svc (Service.restore snap));
+  (* flip one payload byte: checksum must reject *)
+  let flip i =
+    let b = Bytes.of_string snap in
+    Bytes.set b i (if Bytes.get b i = '1' then '2' else '1');
+    Bytes.to_string b
+  in
+  let expect_failure name s =
+    match Service.restore s with
+    | _ -> Alcotest.failf "%s: tampered snapshot accepted" name
+    | exception Failure _ -> ()
+  in
+  expect_failure "flip mid-payload" (flip (String.length snap / 2));
+  expect_failure "flip first byte" (flip 0);
+  expect_failure "truncated"
+    (String.sub snap 0 (String.length snap - 7));
+  expect_failure "garbage" "not a snapshot at all";
+  expect_failure "empty" ""
+
+(* ------------------------------------------------------------------ *)
+(* Coalescer units                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let svc_of g = Service.create (Greedy.color g)
+
+let op : Service.op Alcotest.testable =
+  Alcotest.testable
+    (fun ppf o ->
+      match o with
+      | Service.Op_leave v -> Format.fprintf ppf "leave %d" v
+      | Service.Op_move (v, ns) ->
+          Format.fprintf ppf "move %d -> [%s]" v
+            (String.concat ";" (List.map string_of_int ns))
+      | Service.Op_join (v, ns) ->
+          Format.fprintf ppf "join %d -> [%s]" v
+            (String.concat ";" (List.map string_of_int ns))
+      | Service.Op_degrade (u, v) -> Format.fprintf ppf "degrade %d-%d" u v)
+    ( = )
+
+let test_coalesce_cancel () =
+  let svc = svc_of (Gen.cycle 6) in
+  Alcotest.(check (list op))
+    "join then leave cancels" []
+    (Service.coalesce svc
+       [ Service.Join { node = 6; neighbors = [ 0 ] }; Service.Leave 6 ]);
+  Alcotest.(check (list op))
+    "leave of a dead ghost drops" []
+    (let svc = svc_of (Gen.cycle 6) in
+     ignore (Service.apply svc [ Service.Leave 2 ]);
+     Service.coalesce svc [ Service.Leave 2 ])
+
+let test_coalesce_move_merge () =
+  let svc = svc_of (Gen.cycle 6) in
+  Alcotest.(check (list op))
+    "last move wins"
+    [ Service.Op_move (0, [ 2; 3 ]) ]
+    (Service.coalesce svc
+       [
+         Service.Move { node = 0; neighbors = [ 1 ] };
+         Service.Move { node = 0; neighbors = [ 3; 2; 2 ] };
+       ]);
+  Alcotest.(check (list op))
+    "leave then rejoin is a move"
+    [ Service.Op_move (2, [ 0 ]) ]
+    (Service.coalesce svc
+       [ Service.Leave 2; Service.Join { node = 2; neighbors = [ 0 ] } ])
+
+let test_coalesce_idempotent_dups () =
+  let svc = svc_of (Gen.cycle 6) in
+  Alcotest.(check (list op))
+    "duplicate leaves collapse"
+    [ Service.Op_leave 1 ]
+    (Service.coalesce svc [ Service.Leave 1; Service.Leave 1; Service.Leave 1 ]);
+  Alcotest.(check (list op))
+    "degrades dedupe across orientation"
+    [ Service.Op_degrade (0, 1) ]
+    (Service.coalesce svc
+       [ Service.Degrade { u = 0; v = 1 }; Service.Degrade { u = 1; v = 0 } ]);
+  Alcotest.(check (list op))
+    "degrade subsumed by a node op"
+    [ Service.Op_leave 0 ]
+    (Service.coalesce svc
+       [ Service.Leave 0; Service.Degrade { u = 0; v = 1 } ])
+
+let test_empty_batch_fast_path () =
+  let reg = Metrics.create () in
+  let svc =
+    Service.create ~metrics:(Metrics.sink reg) (Greedy.color (Gen.cycle 8))
+  in
+  let g_before = Service.graph svc in
+  let b = Service.apply svc [] in
+  Alcotest.(check int) "no arcs touched" 0 b.Service.b_touched;
+  Alcotest.(check (float 0.)) "zero touched fraction" 0. b.Service.b_touched_frac;
+  Alcotest.(check bool) "graph physically untouched" true
+    (g_before == Service.graph svc);
+  Alcotest.(check (option (float 0.)))
+    "touched gauge reads zero" (Some 0.)
+    (Metrics.gauge_value reg Metrics.Name.service_touched_frac);
+  (* a batch that coalesces to nothing takes the same fast path *)
+  let b =
+    Service.apply svc
+      [ Service.Join { node = 8; neighbors = [ 0 ] }; Service.Leave 8 ]
+  in
+  Alcotest.(check int) "cancelled batch touches nothing" 0 b.Service.b_touched;
+  Alcotest.(check bool) "graph still physically untouched" true
+    (g_before == Service.graph svc);
+  let t = Service.totals svc in
+  Alcotest.(check int) "events still counted" 2 t.Service.events;
+  Alcotest.(check int) "no ops applied" 0 t.Service.ops
+
+(* ------------------------------------------------------------------ *)
+(* Budget enforcement (refine pass)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Mass departure from a dense graph: carried survivor colors would
+   overshoot the shrunken graph's budget; the refine pass must pull the
+   schedule back under [Bounds.upper] of the current graph. *)
+let test_budget_after_mass_leave () =
+  let g = Gen.complete 10 in
+  let svc = Service.create (Greedy.color g) in
+  let b =
+    Service.apply svc
+      [ Service.Leave 9; Service.Leave 8; Service.Leave 7; Service.Leave 6;
+        Service.Leave 5; Service.Leave 4 ]
+  in
+  let g' = Service.graph svc in
+  Alcotest.(check bool) "valid after mass leave" true
+    (Schedule.valid (Service.schedule svc));
+  Alcotest.(check bool)
+    (Printf.sprintf "slots %d within budget %d" b.Service.b_slots
+       (Bounds.upper g'))
+    true
+    (Service.num_slots svc <= Bounds.upper g')
+
+let () =
+  Alcotest.run "fdlsp_service"
+    [
+      ( "coalesce",
+        [
+          Alcotest.test_case "join+leave cancel" `Quick test_coalesce_cancel;
+          Alcotest.test_case "move merge" `Quick test_coalesce_move_merge;
+          Alcotest.test_case "idempotent duplicates" `Quick
+            test_coalesce_idempotent_dups;
+          Alcotest.test_case "empty-batch fast path" `Quick
+            test_empty_batch_fast_path;
+        ] );
+      ( "oracle",
+        [ prop_oracle_gnp; prop_oracle_udg; prop_oracle_tree;
+          prop_oracle_connected ] );
+      ( "snapshot",
+        [
+          prop_snapshot;
+          Alcotest.test_case "tamper rejection" `Quick test_snapshot_tamper;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "mass leave stays within budget" `Quick
+            test_budget_after_mass_leave;
+        ] );
+    ]
