@@ -1082,17 +1082,81 @@ let serve cfg =
               float_of_int !total_recolored /. float_of_int (max 1 !total_events)
             in
             let mean_slots = Report.mean !slots in
+            (* Durable-serving cost: log the full stream through a WAL
+               store, then time recovery with no auto-snapshot -- the
+               worst case, every segment replayed on the snapshot. *)
+            let recovery_ms =
+              let g = make (rng_for cfg 0) in
+              let svc = Service.create (Dfs_sched.run g).Dfs_sched.schedule in
+              let stream =
+                Service.synth svc ~seed:cfg.base_seed ~events ~batch:bsz
+              in
+              let dir = Filename.temp_file "fdlsp-bench-wal" "" in
+              Sys.remove dir;
+              Sys.mkdir dir 0o755;
+              Fun.protect
+                ~finally:(fun () ->
+                  Array.iter
+                    (fun f -> Sys.remove (Filename.concat dir f))
+                    (Sys.readdir dir);
+                  Sys.rmdir dir)
+                (fun () ->
+                  let st = Wal.Store.create ~dir svc in
+                  List.iter (fun evs -> ignore (Wal.Store.apply st evs)) stream;
+                  Wal.Store.close st;
+                  let t0 = Unix.gettimeofday () in
+                  let st2, _ = Wal.Store.recover ~dir () in
+                  let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+                  Wal.Store.close st2;
+                  dt)
+            in
+            (* Admission-control decision cost alone (offer + poll with
+               limits wide open, no repair work), in us per event. *)
+            let admission_us =
+              let g = make (rng_for cfg 0) in
+              let svc = Service.create (Dfs_sched.run g).Dfs_sched.schedule in
+              let stream =
+                Service.synth svc ~seed:cfg.base_seed ~events ~batch:bsz
+              in
+              let lim =
+                {
+                  Admission.default_limits with
+                  Admission.rate = Float.infinity;
+                  max_batch = max 1 bsz;
+                  max_node = max_int - 1;
+                  max_degree_delta = max_int;
+                  queue_cap = max_int;
+                }
+              in
+              let adm = Admission.create ~limits:lim () in
+              let released = ref 0 in
+              let t0 = Unix.gettimeofday () in
+              List.iteri
+                (fun i evs ->
+                  let now = float_of_int i in
+                  ignore (Admission.offer adm ~source:0 ~now evs);
+                  match Admission.poll adm ~now with
+                  | Some e -> released := !released + List.length e
+                  | None -> ())
+                stream;
+              let dt = Unix.gettimeofday () -. t0 in
+              dt *. 1e6 /. float_of_int (max 1 !released)
+            in
             Metrics.gauge m "fdlsp_bench_serve_events_per_sec" eps;
             Metrics.gauge m "fdlsp_bench_serve_p99_repair_ms" p99;
             Metrics.gauge m "fdlsp_bench_serve_touched_frac" touched_frac;
+            Metrics.gauge m "fdlsp_bench_serve_recovery_ms" recovery_ms;
+            Metrics.gauge m "fdlsp_bench_serve_admission_overhead_us" admission_us;
             if Buffer.length json_points > 0 then Buffer.add_char json_points ',';
             Buffer.add_string json_points
               (Printf.sprintf
                  "{\"family\":\"%s\",\"batch\":%d,\"events_per_sec\":%.0f,\
                   \"repair_ms_p50\":%.4f,\"repair_ms_p99\":%.4f,\
                   \"touched_frac\":%.4f,\"recolored_per_event\":%.2f,\
-                  \"slots\":%.1f}"
-                 fam bsz eps p50 p99 touched_frac recol_per_event mean_slots);
+                  \"slots\":%.1f,\"recovery_ms\":%.3f,\
+                  \"admission_overhead_us\":%.3f}"
+                 fam bsz eps p50 p99 touched_frac recol_per_event mean_slots
+                 recovery_ms admission_us);
             [
               fam;
               string_of_int bsz;
@@ -1102,6 +1166,8 @@ let serve cfg =
               Printf.sprintf "%.4f" touched_frac;
               Report.f1 recol_per_event;
               Report.f1 mean_slots;
+              Printf.sprintf "%.2f" recovery_ms;
+              Printf.sprintf "%.2f" admission_us;
             ])
           batch_sizes)
       families
@@ -1111,7 +1177,7 @@ let serve cfg =
        ~header:
          [
            "family"; "batch"; "events/s"; "p50_ms"; "p99_ms"; "touched";
-           "recol/ev"; "slots";
+           "recol/ev"; "slots"; "recov_ms"; "adm_us";
          ]
        rows);
   print_newline ();

@@ -60,6 +60,25 @@ expect_usage "serve malformed synth" "$cli" serve -g cycle:8 --synth=many
 expect_usage "serve negative batch" "$cli" serve -g cycle:8 --synth=4 --batch=-2
 expect_usage "serve malformed batch" "$cli" serve -g cycle:8 --synth=4 --batch=x
 expect_usage "serve malformed query" "$cli" serve -g cycle:8 --query=5
+expect_usage "serve negative auto-snapshot" "$cli" serve -g cycle:8 --auto-snapshot=-1
+expect_usage "serve zero max-batch" "$cli" serve -g cycle:8 --max-batch=0
+expect_usage "serve zero rate" "$cli" serve -g cycle:8 --rate=0
+expect_usage "serve malformed rate" "$cli" serve -g cycle:8 --rate=fast
+
+# A malformed JSONL events line must die through the same contract,
+# naming its 1-based line number.
+evfile=$(mktemp)
+printf '{"ev":"join","node":0,"neighbors":[]}\n\n# comment\nnot json\n' >"$evfile"
+expect_usage "serve malformed events line" "$cli" serve -g cycle:8 --events "$evfile"
+err=$("$cli" serve -g cycle:8 --events "$evfile" 2>&1 >/dev/null)
+case "$err" in
+*"line 4"*) ;;
+*)
+  echo "FAIL [serve malformed events line]: does not name line 4: $err" >&2
+  fails=1
+  ;;
+esac
+rm -f "$evfile"
 
 if ! "$cli" schedule -g cycle:8 -o /dev/null; then
   echo "FAIL [good invocation]: non-zero exit" >&2
@@ -91,6 +110,30 @@ if ! "$cli" serve -g cycle:8 --query 0:1 --query 3:7 -o /dev/null; then
   echo "FAIL [good serve query]: non-zero exit" >&2
   fails=1
 fi
+waldir=$(mktemp -d)
+rm -rf "$waldir"
+if ! "$cli" serve -g cycle:8 --synth 20 --batch 4 --wal "$waldir" --auto-snapshot 3 \
+  --max-batch 8 --rate 16 --check -o /dev/null; then
+  echo "FAIL [good serve wal+admission]: non-zero exit" >&2
+  fails=1
+fi
+if ! "$cli" serve --recover --wal "$waldir" --check -o /dev/null; then
+  echo "FAIL [good serve recover]: non-zero exit" >&2
+  fails=1
+fi
+# --recover without --wal, and --recover with a graph source, are
+# flag-combination errors: exit 1 through or_die, not usage errors.
+"$cli" serve --recover -o /dev/null 2>/dev/null
+if [ $? -ne 1 ]; then
+  echo "FAIL [recover without wal]: wanted exit 1" >&2
+  fails=1
+fi
+"$cli" serve --recover --wal "$waldir" -g cycle:8 -o /dev/null 2>/dev/null
+if [ $? -ne 1 ]; then
+  echo "FAIL [recover with graph source]: wanted exit 1" >&2
+  fails=1
+fi
+rm -rf "$waldir"
 # Same seeded run, dumped twice: apart from the wall-clock profiling
 # family (fdlsp_run_*), the kv exposition is stable, so the registries
 # behind every format of that run are value-identical.

@@ -997,7 +997,9 @@ let arc_conv =
   Arg.conv (parse, fun ppf (u, v) -> Format.fprintf ppf "%d:%d" u v)
 
 (* JSONL event stream -> batches: {"ev":"flush"} forces a boundary,
-   --batch K > 0 additionally closes every K events. *)
+   --batch K > 0 additionally closes every K events.  A malformed line
+   dies through the uniform usage-error contract (exit 2), naming its
+   1-based line number in the original file. *)
 let read_event_batches path ~batch =
   let text =
     try
@@ -1005,10 +1007,7 @@ let read_event_batches path ~batch =
       else In_channel.with_open_text path In_channel.input_all
     with Sys_error m -> or_die (Error m)
   in
-  let lines =
-    String.split_on_char '\n' text |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-  in
+  let display = if path = "-" then "stdin" else path in
   let batches = ref [] and cur = ref [] and count = ref 0 in
   let close () =
     if !cur <> [] then begin
@@ -1017,16 +1016,19 @@ let read_event_batches path ~batch =
       count := 0
     end
   in
-  List.iter
-    (fun line ->
-      match Service.line_of_string line with
-      | exception Failure m -> or_die (Error m)
-      | `Flush -> close ()
-      | `Event e ->
-          cur := e :: !cur;
-          incr count;
-          if batch > 0 && !count >= batch then close ())
-    lines;
+  List.iteri
+    (fun i raw ->
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then
+        match Service.line_of_string line with
+        | exception Failure m ->
+            die_usage (Printf.sprintf "--events %s: line %d: %s" display (i + 1) m)
+        | `Flush -> close ()
+        | `Event e ->
+            cur := e :: !cur;
+            incr count;
+            if batch > 0 && !count >= batch then close ())
+    (String.split_on_char '\n' text);
   close ();
   List.rev !batches
 
@@ -1066,33 +1068,99 @@ let serve_cmd =
     let doc = "Emit the summary as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run spec file seed events_file synth batch snap restore queries check json out
-      verbose =
+  let wal_arg =
+    let doc =
+      "Serve durably out of $(docv): append every accepted batch to a checksummed \
+       write-ahead log before repair runs, alongside an atomic snapshot."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"DIR" ~doc)
+  in
+  let recover_flag =
+    let doc =
+      "Start by recovering the --wal directory (snapshot + WAL tail replay) instead \
+       of building a fresh service (exclusive with -g/-i/--restore)."
+    in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
+  let auto_snapshot_arg =
+    let doc =
+      "With --wal: snapshot and truncate the log every $(docv) applied batches \
+       (0 = only the initial snapshot)."
+    in
+    Arg.(
+      value
+      & opt (checked_int ~min:0 "--auto-snapshot") 0
+      & info [ "auto-snapshot" ] ~docv:"K" ~doc)
+  in
+  let max_batch_arg =
+    let doc =
+      "Enable admission control with at most $(docv) events per batch; larger \
+       batches are rejected, not applied."
+    in
+    Arg.(
+      value
+      & opt (some (checked_int ~min:1 "--max-batch")) None
+      & info [ "max-batch" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Enable admission control with a token bucket of $(docv) events per tick \
+       (one tick per input batch); over-rate batches are deferred, then rejected."
+    in
+    Arg.(
+      value
+      & opt (some (checked_float ~min:1e-6 "--rate")) None
+      & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let run spec file seed events_file synth batch snap restore queries check json out wal
+      recover auto_snapshot max_batch rate verbose =
     setup_logs verbose;
     let reg = Metrics.create () in
     let msink = Metrics.sink reg in
-    let svc =
-      match (restore, spec, file) with
-      | Some _, Some _, _ | Some _, _, Some _ ->
-          or_die (Error "--restore is mutually exclusive with --generate/--input")
-      | Some path, None, None -> (
-          let text =
-            try In_channel.with_open_text path In_channel.input_all
-            with Sys_error m -> or_die (Error m)
-          in
-          try Service.restore ~metrics:msink text with Failure m -> or_die (Error m))
-      | None, _, _ ->
-          let g =
-            match (spec, file) with
-            | Some s, None -> build_spec seed s
-            | None, Some path -> (
-                try Io.read_file path with Failure m -> or_die (Error m))
-            | None, None ->
-                or_die (Error "one of --generate, --input or --restore is required")
-            | Some _, Some _ ->
-                or_die (Error "--generate and --input are mutually exclusive")
-          in
-          Service.create ~metrics:msink (Dfs_sched.run g).Dfs_sched.schedule
+    if recover && wal = None then or_die (Error "--recover requires --wal");
+    let store, svc, recovery =
+      if recover then begin
+        if spec <> None || file <> None || restore <> None then
+          or_die
+            (Error "--recover is mutually exclusive with --generate/--input/--restore");
+        match Wal.Store.recover ~metrics:msink ~auto_snapshot ~dir:(Option.get wal) ()
+        with
+        | st, rv -> (Some st, Wal.Store.service st, Some rv)
+        | exception Failure m -> or_die (Error m)
+        | exception Sys_error m -> or_die (Error m)
+      end
+      else begin
+        let svc =
+          match (restore, spec, file) with
+          | Some _, Some _, _ | Some _, _, Some _ ->
+              or_die (Error "--restore is mutually exclusive with --generate/--input")
+          | Some path, None, None -> (
+              let text =
+                try In_channel.with_open_text path In_channel.input_all
+                with Sys_error m -> or_die (Error m)
+              in
+              try Service.restore ~metrics:msink text
+              with Failure m -> or_die (Error m))
+          | None, _, _ ->
+              let g =
+                match (spec, file) with
+                | Some s, None -> build_spec seed s
+                | None, Some path -> (
+                    try Io.read_file path with Failure m -> or_die (Error m))
+                | None, None ->
+                    or_die (Error "one of --generate, --input or --restore is required")
+                | Some _, Some _ ->
+                    or_die (Error "--generate and --input are mutually exclusive")
+              in
+              Service.create ~metrics:msink (Dfs_sched.run g).Dfs_sched.schedule
+        in
+        match wal with
+        | Some dir -> (
+            match Wal.Store.create ~metrics:msink ~auto_snapshot ~dir svc with
+            | st -> (Some st, svc, None)
+            | exception Sys_error m -> or_die (Error m))
+        | None -> (None, svc, None)
+      end
     in
     let batches =
       match (events_file, synth) with
@@ -1102,14 +1170,70 @@ let serve_cmd =
           Service.synth svc ~seed ~events:n ~batch:(if batch = 0 then 8 else batch)
       | None, None -> []
     in
-    List.iter
-      (fun evs ->
-        (match Service.apply svc evs with
-        | exception Invalid_argument m -> or_die (Error m)
-        | (_ : Service.batch) -> ());
-        if check && not (Schedule.valid (Service.schedule svc)) then
-          or_die (Error "schedule invalid after batch"))
-      batches;
+    let apply_batch ~lenient evs =
+      (match
+         match store with
+         | Some st -> (Wal.Store.apply st evs : Service.batch)
+         | None -> Service.apply svc evs
+       with
+      | exception Invalid_argument m ->
+          (* under admission control earlier batches may have been shed,
+             so a now-inconsistent batch is expected load-shedding fallout,
+             not a caller bug: skip it and keep serving *)
+          if lenient then Logs.warn (fun k -> k "batch skipped: %s" m)
+          else or_die (Error m)
+      | (_ : Service.batch) -> ());
+      if check && not (Schedule.valid (Service.schedule svc)) then
+        or_die (Error "schedule invalid after batch")
+    in
+    let adm =
+      if max_batch = None && rate = None then None
+      else begin
+        let d = Admission.default_limits in
+        let max_batch = Option.value max_batch ~default:d.Admission.max_batch in
+        let rate = Option.value rate ~default:Float.infinity in
+        (* the bucket must hold at least one full batch or a legal batch
+           could never pay and would defer forever; two rate-ticks of
+           headroom keeps a compliant source out of the deferred path *)
+        let burst = Float.max (float_of_int max_batch) (2. *. rate) in
+        Some
+          (Admission.create ~metrics:msink
+             ~limits:{ d with Admission.max_batch; rate; burst }
+             ())
+      end
+    in
+    (match adm with
+    | None -> List.iter (apply_batch ~lenient:false) batches
+    | Some adm ->
+        (* synthetic clock: one tick per input batch, so --rate reads as
+           events per batch interval without wall-clock nondeterminism *)
+        let clock = ref 0. in
+        let drain () =
+          let rec go () =
+            match Admission.poll adm ~now:!clock with
+            | Some evs ->
+                apply_batch ~lenient:true evs;
+                go ()
+            | None -> ()
+          in
+          go ()
+        in
+        List.iter
+          (fun evs ->
+            clock := !clock +. 1.;
+            (match Admission.offer adm ~source:0 ~now:!clock evs with
+            | exception Invalid_argument m -> or_die (Error m)
+            | (_ : Admission.outcome) -> ());
+            drain ())
+          batches;
+        (* end of stream: keep ticking until deferred work drains *)
+        let guard = ref 0 in
+        while Admission.queue_depth adm > 0 && !guard < 1_000_000 do
+          incr guard;
+          clock := !clock +. 1.;
+          drain ()
+        done);
+    (match store with Some st -> Wal.Store.close st | None -> ());
     (match snap with
     | Some path ->
         let oc = open_out path in
@@ -1131,18 +1255,46 @@ let serve_cmd =
       if repair_secs > 0. then float_of_int t.Service.events /. repair_secs else 0.
     in
     let num_or_null f = if Float.is_nan f then "null" else Printf.sprintf "%g" f in
+    let tail_name = function
+      | Wal.Clean -> "clean"
+      | Wal.Torn _ -> "torn"
+      | Wal.Corrupt _ -> "corrupt"
+    in
     let buf = Buffer.create 256 in
     if json then begin
+      let recovery_json =
+        match recovery with
+        | None -> ""
+        | Some rv ->
+            Printf.sprintf
+              ",\"recovery\":{\"replayed\":%d,\"covered\":%d,\"invalid\":%d,\
+               \"tail\":\"%s\"}"
+              rv.Wal.Store.rv_replayed rv.Wal.Store.rv_covered rv.Wal.Store.rv_invalid
+              (tail_name rv.Wal.Store.rv_tail)
+      in
+      let admission_json =
+        match adm with
+        | None -> ""
+        | Some adm ->
+            let c = Admission.counts adm in
+            Printf.sprintf
+              ",\"admission\":{\"admitted\":%d,\"deferred\":%d,\"rejected\":%d,\
+               \"shed\":%d,\"released\":%d}"
+              c.Admission.c_admitted c.Admission.c_deferred c.Admission.c_rejected
+              c.Admission.c_shed c.Admission.c_released
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "{\"nodes\":%d,\"live\":%d,\"links\":%d,\"slots\":%d,\"valid\":%b,\
             \"batches\":%d,\"events\":%d,\"ops\":%d,\"recolored\":%d,\
-            \"events_per_sec\":%s,\"repair_ms_p50\":%s,\"repair_ms_p99\":%s,\"queries\":["
+            \"events_per_sec\":%s,\"repair_ms_p50\":%s,\"repair_ms_p99\":%s%s%s,\
+            \"queries\":["
            (Service.nodes svc) (Service.live svc) (Graph.m g) (Service.num_slots svc)
            valid t.Service.batches t.Service.events t.Service.ops t.Service.recolored
            (num_or_null events_per_sec)
            (num_or_null (quant 0.5))
-           (num_or_null (quant 0.99)));
+           (num_or_null (quant 0.99))
+           recovery_json admission_json);
       List.iteri
         (fun i (u, v) ->
           if i > 0 then Buffer.add_char buf ',';
@@ -1163,6 +1315,22 @@ let serve_cmd =
            (num_or_null events_per_sec)
            (num_or_null (quant 0.5))
            (num_or_null (quant 0.99)));
+      (match recovery with
+      | None -> ()
+      | Some rv ->
+          Buffer.add_string buf
+            (Printf.sprintf "recovery replayed=%d covered=%d invalid=%d tail=%s\n"
+               rv.Wal.Store.rv_replayed rv.Wal.Store.rv_covered rv.Wal.Store.rv_invalid
+               (tail_name rv.Wal.Store.rv_tail)));
+      (match adm with
+      | None -> ()
+      | Some adm ->
+          let c = Admission.counts adm in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "admission admitted=%d deferred=%d rejected=%d shed=%d released=%d\n"
+               c.Admission.c_admitted c.Admission.c_deferred c.Admission.c_rejected
+               c.Admission.c_shed c.Admission.c_released));
       List.iter
         (fun (u, v) ->
           Buffer.add_string buf
@@ -1177,11 +1345,13 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived scheduling service over a batched churn stream \
-          (join/leave/move/degrade JSONL or seeded synthetic events), with \
-          snapshot/restore and O(1) slot queries")
+          (join/leave/move/degrade JSONL or seeded synthetic events), with a \
+          write-ahead log, crash recovery, admission control, snapshot/restore \
+          and O(1) slot queries")
     Term.(
       const run $ spec_opt_arg $ input_opt_arg $ seed_arg $ events_arg $ synth_arg
       $ batch_arg $ snapshot_arg $ restore_arg $ query_arg $ check_flag $ json $ out_arg
+      $ wal_arg $ recover_flag $ auto_snapshot_arg $ max_batch_arg $ rate_arg
       $ verbose_arg)
 
 (* --- bounds ----------------------------------------------------------- *)

@@ -174,7 +174,29 @@ let coalesce t events =
       degrades []
     |> List.sort compare
   in
-  leaves @ moves @ joins @ degrades
+  (* Whole-batch no-op detection: when every net op is a move of a live
+     node back onto exactly its current live neighborhood (and nothing
+     else survived coalescing), the post-batch graph is provably the
+     current graph — each mover recreates each of its links and nothing
+     new appears — so the batch nets to nothing and takes the zero-touch
+     fast path instead of pointlessly recoloring every mover's arcs.
+     This is what makes batch repair idempotent: re-submitting an
+     already-applied net effect touches zero arcs.  The check is only
+     sound batch-wide (dropping a single no-op move next to a live move
+     could drop a link only the no-op mover still names), and it must
+     not mask validation: moves naming out-of-range or self neighbors
+     fall through so [apply_ops] still raises on them. *)
+  let noop_move (v, nbrs_l) =
+    v < t.n && t.alive.(v)
+    && List.for_all (fun w -> w >= 0 && w < t.n && w <> v) nbrs_l
+    && List.filter (fun w -> t.alive.(w)) nbrs_l
+       = Array.to_list (Graph.neighbors t.graph v)
+  in
+  if
+    leaves = [] && joins = [] && degrades = [] && moves <> []
+    && List.for_all (function Op_move (v, l) -> noop_move (v, l) | _ -> false) moves
+  then []
+  else leaves @ moves @ joins @ degrades
 
 (* ------------------------------------------------------------------ *)
 (* Batch repair                                                        *)

@@ -117,8 +117,12 @@ val apply : t -> event list -> batch
 (** Coalesce and apply one batch.  After return the schedule is
     Definition-2 valid and (with [refine]) within
     [Bounds.upper (graph t)] slots.  An empty net batch is a fast path
-    that provably touches zero arcs.  Raises [Invalid_argument] on
-    malformed events, leaving the state unchanged. *)
+    that provably touches zero arcs; a batch consisting entirely of
+    moves that re-home live nodes onto exactly their current
+    neighborhoods (a net effect that is already applied — e.g. a
+    replayed duplicate) coalesces to that same fast path, making batch
+    repair idempotent.  Raises [Invalid_argument] on malformed events,
+    leaving the state unchanged. *)
 
 (** {1 Snapshot / restore}
 

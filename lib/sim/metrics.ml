@@ -283,6 +283,17 @@ module Name = struct
   let service_batch_size = "fdlsp_service_batch_size"
   let service_repair = "fdlsp_service_repair"
   let service_touched_frac = "fdlsp_service_touched_frac"
+  let wal_appends = "fdlsp_wal_appends_total"
+  let wal_bytes = "fdlsp_wal_bytes_total"
+  let wal_snapshots = "fdlsp_wal_snapshots_total"
+  let wal_replayed = "fdlsp_wal_replayed_total"
+  let wal_skipped = "fdlsp_wal_skipped_total"
+  let admission_admitted = "fdlsp_admission_admitted_total"
+  let admission_rejected = "fdlsp_admission_rejected_total"
+  let admission_deferred = "fdlsp_admission_deferred_total"
+  let admission_shed = "fdlsp_admission_shed_total"
+  let admission_queue_depth = "fdlsp_admission_queue_depth"
+  let admission_degraded = "fdlsp_admission_degraded"
 end
 
 (* Record a whole [Stats.t] through the sink: the engines call this once

@@ -230,4 +230,38 @@ module Name : sig
 
   val service_touched_frac : string
   (** Gauge: fraction of arcs written by the last batch (locality). *)
+
+  val wal_appends : string
+  (** Counter: segments appended to the write-ahead log. *)
+
+  val wal_bytes : string
+  (** Counter: bytes appended to the write-ahead log. *)
+
+  val wal_snapshots : string
+  (** Counter: durable snapshots written (manual + auto). *)
+
+  val wal_replayed : string
+  (** Counter: WAL segments applied during recovery. *)
+
+  val wal_skipped : string
+  (** Counter: recovery segments skipped (snapshot-covered or invalid). *)
+
+  val admission_admitted : string
+  (** Counter: batches admitted by the admission controller. *)
+
+  val admission_rejected : string
+  (** Counter: batches rejected, labeled [reason=...]. *)
+
+  val admission_deferred : string
+  (** Counter: batches parked in the deferred queue (rate limit). *)
+
+  val admission_shed : string
+  (** Counter: refinement events ([Move]/[Degrade]) shed in degraded
+      mode. *)
+
+  val admission_queue_depth : string
+  (** Gauge: queued events (ready + deferred) after the last call. *)
+
+  val admission_degraded : string
+  (** Gauge: 1 while the controller is in degraded mode, else 0. *)
 end

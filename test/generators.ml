@@ -137,6 +137,57 @@ let gen_service_batches ?(max_batches = 6) ?(max_events = 8) () =
     list_size (int_bound max_batches)
       (list_size (int_bound max_events) gen_service_hint))
 
+(* Realize one batch of abstract hints into concrete events against a
+   service's current state.  Fresh joins take consecutive ids from
+   [Service.nodes]; picks are taken modulo the live/dead/edge
+   populations; unrealizable hints (no dead ghost to revive, no link to
+   degrade) drop out.  Shared by the service oracle suite and the
+   chaos-recovery suite so both drive the same churn distribution. *)
+let realize_batch svc hints =
+  let module Service = Fdlsp_core.Service in
+  let pick xs k = List.nth xs (k mod List.length xs) in
+  let n0 = Service.nodes svc in
+  let ids = List.init n0 Fun.id in
+  let live = List.filter (Service.alive svc) ids in
+  let dead = List.filter (fun v -> not (Service.alive svc v)) ids in
+  let g = Service.graph svc in
+  let m = Graph.m g in
+  let fresh = ref 0 in
+  let neighbors_for self ks =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun k ->
+           if live = [] then None
+           else
+             let v = pick live k in
+             if v = self then None else Some v)
+         ks)
+  in
+  List.filter_map
+    (fun hint ->
+      match hint with
+      | H_join ks ->
+          let node = n0 + !fresh in
+          incr fresh;
+          Some (Service.Join { node; neighbors = neighbors_for node ks })
+      | H_rejoin (k, ks) ->
+          if dead = [] then None
+          else
+            let node = pick dead k in
+            Some (Service.Join { node; neighbors = neighbors_for node ks })
+      | H_leave k -> if live = [] then None else Some (Service.Leave (pick live k))
+      | H_move (k, ks) ->
+          if live = [] then None
+          else
+            let node = pick live k in
+            Some (Service.Move { node; neighbors = neighbors_for node ks })
+      | H_degrade k ->
+          if m = 0 then None
+          else
+            let u, v = Graph.edge_endpoints g (k mod m) in
+            Some (Service.Degrade { u; v }))
+    hints
+
 let arb_connected ?(max_n = 25) () =
   make ~keep:Traversal.is_connected (fun st ->
       let n = 3 + Random.State.int st max_n in

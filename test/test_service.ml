@@ -19,57 +19,9 @@ open Fdlsp_color
 open Fdlsp_core
 module Metrics = Fdlsp_sim.Metrics
 
-(* ------------------------------------------------------------------ *)
-(* Hint realization                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let pick xs k = List.nth xs (k mod List.length xs)
-
-(* Realize one batch of abstract hints into concrete events against the
-   service's current state.  Fresh joins take consecutive ids from
-   [Service.nodes]; picks are taken modulo the live/dead/edge
-   populations; unrealizable hints (no dead ghost to revive, no link to
-   degrade) drop out. *)
-let realize_batch svc hints =
-  let n0 = Service.nodes svc in
-  let ids = List.init n0 Fun.id in
-  let live = List.filter (Service.alive svc) ids in
-  let dead = List.filter (fun v -> not (Service.alive svc v)) ids in
-  let g = Service.graph svc in
-  let m = Graph.m g in
-  let fresh = ref 0 in
-  let neighbors_for self ks =
-    List.sort_uniq compare
-      (List.filter_map
-         (fun k -> if live = [] then None else
-            let v = pick live k in
-            if v = self then None else Some v)
-         ks)
-  in
-  List.filter_map
-    (fun hint ->
-      match (hint : Generators.service_hint) with
-      | H_join ks ->
-          let node = n0 + !fresh in
-          incr fresh;
-          Some (Service.Join { node; neighbors = neighbors_for node ks })
-      | H_rejoin (k, ks) ->
-          if dead = [] then None
-          else
-            let node = pick dead k in
-            Some (Service.Join { node; neighbors = neighbors_for node ks })
-      | H_leave k -> if live = [] then None else Some (Service.Leave (pick live k))
-      | H_move (k, ks) ->
-          if live = [] then None
-          else
-            let node = pick live k in
-            Some (Service.Move { node; neighbors = neighbors_for node ks })
-      | H_degrade k ->
-          if m = 0 then None
-          else
-            let u, v = Graph.edge_endpoints g (k mod m) in
-            Some (Service.Degrade { u; v }))
-    hints
+(* Hint realization lives in {!Generators.realize_batch}, shared with
+   the chaos-recovery suite. *)
+let realize_batch = Generators.realize_batch
 
 (* ------------------------------------------------------------------ *)
 (* Differential oracle                                                 *)
@@ -166,6 +118,43 @@ let prop_snapshot =
   Generators.qtest "snapshot+replay-tail = straight-through" ~count:60
     (with_scripts (Generators.arb_connected ~max_n:12 ()))
     snapshot_roundtrip
+
+(* Edge case: snapshots of services with zero live state — an empty id
+   space, an all-dead population, a service grown and then emptied —
+   must round-trip exactly, and the restored side must keep accepting
+   churn.  Pins the degenerate corner of the snapshot format (empty
+   alive bitmap, zero-arc schedule). *)
+let test_snapshot_empty_service () =
+  let roundtrip name svc =
+    let r = Service.restore (Service.snapshot svc) in
+    Alcotest.(check bool) (name ^ " round-trips") true (Service.equal svc r);
+    r
+  in
+  (* zero-node service *)
+  let z = Service.create (Greedy.color (Graph.create ~n:0 [])) in
+  let r = roundtrip "zero-node service" z in
+  ignore
+    (Service.apply r
+       [
+         Service.Join { node = 0; neighbors = [] };
+         Service.Join { node = 1; neighbors = [ 0 ] };
+       ]);
+  Alcotest.(check bool) "restored empty service accepts churn" true
+    (Schedule.valid (Service.schedule r) && Service.live r = 2);
+  (* every node dead *)
+  let d = Service.create (Greedy.color (Gen.cycle 4)) in
+  ignore
+    (Service.apply d
+       [ Service.Leave 0; Service.Leave 1; Service.Leave 2; Service.Leave 3 ]);
+  let r = roundtrip "all-dead service" d in
+  ignore (Service.apply r [ Service.Join { node = 1; neighbors = [] } ]);
+  Alcotest.(check bool) "ghost revives after restore" true (Service.alive r 1);
+  (* grown, then emptied *)
+  let e = Service.create (Greedy.color (Graph.create ~n:0 [])) in
+  ignore (Service.apply e [ Service.Join { node = 0; neighbors = [] } ]);
+  ignore (Service.apply e [ Service.Join { node = 1; neighbors = [ 0 ] } ]);
+  ignore (Service.apply e [ Service.Leave 0; Service.Leave 1 ]);
+  ignore (roundtrip "grown-then-emptied service" e)
 
 let test_snapshot_tamper () =
   let g = Gen.cycle 8 in
@@ -287,6 +276,51 @@ let test_empty_batch_fast_path () =
   Alcotest.(check int) "no ops applied" 0 t.Service.ops
 
 (* ------------------------------------------------------------------ *)
+(* Idempotence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-applying a batch whose net effect is already applied — every node
+   op re-homed onto its current neighborhood, leaves of already-dead
+   nodes — must coalesce to the zero-touch fast path: no ops, no arcs
+   written, the graph physically unchanged.  This is the replayed-
+   duplicate shape a WAL recovery or an at-least-once transport hands
+   the service. *)
+let idempotent_replay (g, scripts) =
+  let svc = Service.create (Greedy.color g) in
+  List.for_all
+    (fun hints ->
+      let evs = realize_batch svc hints in
+      (match Service.apply svc evs with
+      | _ -> ()
+      | exception Invalid_argument _ -> ());
+      let cur_nbrs v = Array.to_list (Graph.neighbors (Service.graph svc) v) in
+      let redo =
+        List.filter_map
+          (fun ev ->
+            match (ev : Service.event) with
+            | Service.Join { node; _ } | Service.Move { node; _ } ->
+                if Service.alive svc node then
+                  Some (Service.Move { node; neighbors = cur_nbrs node })
+                else None
+            | Service.Leave v ->
+                if Service.alive svc v then None else Some (Service.Leave v)
+            | Service.Degrade _ -> None)
+          evs
+      in
+      let g_before = Service.graph svc in
+      let b = Service.apply svc redo in
+      b.Service.b_ops = 0
+      && b.Service.b_touched = 0
+      && b.Service.b_touched_frac = 0.
+      && Service.graph svc == g_before)
+    scripts
+
+let prop_idempotent =
+  Generators.qtest "replayed net-effect batch touches zero arcs" ~count:100
+    (with_scripts (Generators.arb_connected ~max_n:14 ()))
+    idempotent_replay
+
+(* ------------------------------------------------------------------ *)
 (* Budget enforcement (refine pass)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -328,8 +362,11 @@ let () =
       ( "snapshot",
         [
           prop_snapshot;
+          Alcotest.test_case "empty-service round-trips" `Quick
+            test_snapshot_empty_service;
           Alcotest.test_case "tamper rejection" `Quick test_snapshot_tamper;
         ] );
+      ("idempotence", [ prop_idempotent ]);
       ( "budget",
         [
           Alcotest.test_case "mass leave stays within budget" `Quick
