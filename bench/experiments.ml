@@ -1084,7 +1084,10 @@ let serve cfg =
             let mean_slots = Report.mean !slots in
             (* Durable-serving cost: log the full stream through a WAL
                store, then time recovery with no auto-snapshot -- the
-               worst case, every segment replayed on the snapshot. *)
+               worst case, every segment replayed on the snapshot.
+               Recovery is replayed three times on the same log and the
+               minimum taken: min-of-k discards cold-cache and scheduler
+               noise, which dwarfs the replay itself at bench sizes. *)
             let recovery_ms =
               let g = make (rng_for cfg 0) in
               let svc = Service.create (Dfs_sched.run g).Dfs_sched.schedule in
@@ -1104,11 +1107,17 @@ let serve cfg =
                   let st = Wal.Store.create ~dir svc in
                   List.iter (fun evs -> ignore (Wal.Store.apply st evs)) stream;
                   Wal.Store.close st;
-                  let t0 = Unix.gettimeofday () in
-                  let st2, _ = Wal.Store.recover ~dir () in
-                  let dt = (Unix.gettimeofday () -. t0) *. 1000. in
-                  Wal.Store.close st2;
-                  dt)
+                  let one () =
+                    let t0 = Unix.gettimeofday () in
+                    let st2, _ = Wal.Store.recover ~dir () in
+                    let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+                    Wal.Store.close st2;
+                    dt
+                  in
+                  List.fold_left
+                    (fun acc () -> Float.min acc (one ()))
+                    (one ())
+                    [ (); () ])
             in
             (* Admission-control decision cost alone (offer + poll with
                limits wide open, no repair work), in us per event. *)

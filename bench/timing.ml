@@ -150,8 +150,98 @@ let kernel ~smoke ~metrics () =
          ]
        (List.rev !rows))
 
+(* The telemetry bargain: [Span.span Null name f] must cost nothing but
+   the call and the match.  Measure it where it is hottest — wrapping
+   every per-arc conflict enumeration of the kernel sweep — and publish
+   the fractional slowdown, clamped at 0 (timer noise can make the
+   wrapped sweep come out faster).  bench/schema.json pins the gauge's
+   ceiling; CI fails if the null path grows real work. *)
+let span_overhead ~smoke ~metrics () =
+  Report.section "Timing: null-sink span overhead (per-arc conflict sweep)";
+  let module Span = Fdlsp_sim.Span in
+  let reps = if smoke then 25 else 50 in
+  let rows = ref [] in
+  List.iter
+    (fun (family, g) ->
+      let scratch = Fdlsp_color.Conflict.scratch g in
+      (* the thunk is hoisted and re-aimed through a ref, the idiom a
+         hot loop instrumented per-iteration would use — both sides
+         then allocate identically and the delta is the span mechanism
+         itself (one call, one match on Null) *)
+      let acc = ref 0 in
+      let cur = ref 0 in
+      let visit _ = incr acc in
+      let body () = Fdlsp_color.Conflict.iter_conflicting ~scratch g !cur visit in
+      let sweep_bare () =
+        acc := 0;
+        Arc.iter g (fun a ->
+            cur := a;
+            body ());
+        !acc
+      in
+      let sweep_spanned () =
+        acc := 0;
+        Arc.iter g (fun a ->
+            cur := a;
+            Span.span Span.null "arc" body);
+        !acc
+      in
+      assert (sweep_bare () = sweep_spanned ());
+      (* enough sweeps per timed sample to reach ~4 ms — short enough
+         to usually dodge a scheduler timeslice, long enough that 2% is
+         not timer-jitter; the variants are sampled back-to-back in
+         pairs and the reported overhead is the lower quartile of the
+         per-pair ratios: contamination is two-sided per pair (a hiccup
+         in the bare half deflates, in the spanned half inflates), while
+         a real regression in the null path shifts EVERY pair up — so a
+         low quantile still trips the schema ceiling on a regression but
+         cannot false-alarm from the fat positive noise tail that made
+         min-of-k, interleaved min, and even the median flaky here *)
+      let sample ~inner f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to inner do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        (Unix.gettimeofday () -. t0) *. 1e3
+      in
+      let once = Float.max 0.05 (sample ~inner:1 sweep_bare) in
+      let inner = max 1 (min 16 (int_of_float (4.0 /. once))) in
+      let sample f = sample ~inner f in
+      let pairs =
+        Array.init reps (fun _ ->
+            let b = sample sweep_bare in
+            let s = sample sweep_spanned in
+            (b, s))
+      in
+      let ratios =
+        Array.map (fun (b, s) -> (s -. b) /. Float.max b 1e-9) pairs
+      in
+      Array.sort compare ratios;
+      let frac = Float.max 0. ratios.(reps / 4) in
+      let bare = Array.fold_left (fun a (b, _) -> Float.min a b) infinity pairs in
+      let spanned =
+        Array.fold_left (fun a (_, s) -> Float.min a s) infinity pairs
+      in
+      Fdlsp_sim.Metrics.gauge
+        (Fdlsp_sim.Metrics.with_label metrics "family" family)
+        "fdlsp_bench_span_overhead_frac" frac;
+      rows :=
+        [
+          family;
+          Printf.sprintf "%.3f" bare;
+          Printf.sprintf "%.3f" spanned;
+          Printf.sprintf "%.2f%%" (frac *. 100.);
+        ]
+        :: !rows)
+    (kernel_families ~smoke);
+  print_string
+    (Report.table
+       ~header:[ "family"; "bare ms"; "spanned ms"; "overhead" ]
+       (List.rev !rows))
+
 let run ?(quota = 1.0) ?(smoke = false) ?(metrics = Fdlsp_sim.Metrics.null) () =
   kernel ~smoke ~metrics ();
+  span_overhead ~smoke ~metrics ();
   Report.section "Timing: wall-clock per full algorithm run (Bechamel OLS estimate)";
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in

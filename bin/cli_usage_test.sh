@@ -64,6 +64,14 @@ expect_usage "serve negative auto-snapshot" "$cli" serve -g cycle:8 --auto-snaps
 expect_usage "serve zero max-batch" "$cli" serve -g cycle:8 --max-batch=0
 expect_usage "serve zero rate" "$cli" serve -g cycle:8 --rate=0
 expect_usage "serve malformed rate" "$cli" serve -g cycle:8 --rate=fast
+expect_usage "profile tiny capacity" "$cli" profile -g cycle:8 --capacity=1
+expect_usage "profile malformed capacity" "$cli" profile -g cycle:8 --capacity=big
+expect_usage "doctor missing dump" "$cli" doctor
+expect_usage "serve zero health-every" "$cli" serve -g cycle:8 --synth=4 --health-every=0
+expect_usage "serve malformed health-every" "$cli" serve -g cycle:8 --synth=4 --health-every=soon
+expect_usage "serve slo missing equals" "$cli" serve -g cycle:8 --synth=4 --slo=p99_repair_ms
+expect_usage "serve slo unknown key" "$cli" serve -g cycle:8 --synth=4 --slo=bogus=3
+expect_usage "serve slo malformed number" "$cli" serve -g cycle:8 --synth=4 --slo=p99_repair_ms=fast
 
 # A malformed JSONL events line must die through the same contract,
 # naming its 1-based line number.
@@ -134,6 +142,42 @@ if [ $? -ne 1 ]; then
   fails=1
 fi
 rm -rf "$waldir"
+# Telemetry round trip: profile in both export formats, serve with
+# streaming health against an SLO that holds (exit 0), then an SLO that
+# must burn (exit 1, not a usage error), and doctor on the flight dump
+# the serve run leaves in the WAL directory.
+if ! "$cli" profile -g cycle:8 -a distmis --folded /dev/null --chrome /dev/null; then
+  echo "FAIL [good profile]: non-zero exit" >&2
+  fails=1
+fi
+teldir=$(mktemp -d)
+rm -rf "$teldir"
+if ! "$cli" serve -g cycle:8 --synth 20 --batch 4 --wal "$teldir" --health-every 2 \
+  --slo p99_repair_ms=100000 --check -o /dev/null 2>/dev/null; then
+  echo "FAIL [good serve health+slo]: non-zero exit" >&2
+  fails=1
+fi
+if [ ! -s "$teldir/flight.fdr" ]; then
+  echo "FAIL [serve flight dump]: $teldir/flight.fdr missing or empty" >&2
+  fails=1
+elif ! "$cli" doctor "$teldir/flight.fdr" -o /dev/null; then
+  echo "FAIL [good doctor]: non-zero exit" >&2
+  fails=1
+fi
+"$cli" serve -g cycle:8 --synth 20 --batch 4 --health-every 2 \
+  --slo events_per_sec=1e18 -o /dev/null 2>/dev/null
+if [ $? -ne 1 ]; then
+  echo "FAIL [burned slo]: wanted exit 1" >&2
+  fails=1
+fi
+# doctor on a file that is not a dump is a data error (exit 1), not a
+# usage error.
+"$cli" doctor /dev/null -o /dev/null 2>/dev/null
+if [ $? -ne 1 ]; then
+  echo "FAIL [doctor non-dump]: wanted exit 1" >&2
+  fails=1
+fi
+rm -rf "$teldir"
 # Same seeded run, dumped twice: apart from the wall-clock profiling
 # family (fdlsp_run_*), the kv exposition is stable, so the registries
 # behind every format of that run are value-identical.

@@ -10,13 +10,17 @@
      frames    - run a schedule as a realistic TDMA superframe
      trace     - record / replay-check / summarize event traces
      metrics   - run an algorithm and dump its metrics registry
-     serve     - long-lived scheduling service over a churn stream *)
+     serve     - long-lived scheduling service over a churn stream
+     profile   - run an algorithm under the causal span profiler
+     doctor    - pretty-print a flight-recorder crash dump *)
 
 open Cmdliner
 open Fdlsp_graph
 open Fdlsp_color
 open Fdlsp_core
 module Metrics = Fdlsp_sim.Metrics
+module Span = Fdlsp_sim.Span
+module Flight = Fdlsp_sim.Flight
 
 (* --- shared argument parsing --------------------------------------- *)
 
@@ -207,30 +211,34 @@ let algo_conv =
       ("exact", Exact);
     ]
 
-let run_algo ?(metrics = Metrics.null) algo seed g =
+let run_algo ?(metrics = Metrics.null) ?(spans = Span.null) algo seed g =
   let rng () = Random.State.make [| seed; 0xA5 |] in
   Metrics.timed metrics "fdlsp_run" (fun () ->
+      Span.span spans "run" @@ fun () ->
       match algo with
       | Dist_gbg ->
-          let r = Dist_mis.run ~metrics ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g in
+          let r =
+            Dist_mis.run ~metrics ~spans ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g
+          in
           (r.Dist_mis.schedule, Some r.Dist_mis.stats)
       | Dist_general ->
           let r =
-            Dist_mis.run ~metrics ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.General g
+            Dist_mis.run ~metrics ~spans ~mis:(Mis.Luby (rng ()))
+              ~variant:Dist_mis.General g
           in
           (r.Dist_mis.schedule, Some r.Dist_mis.stats)
       | Dist_gps ->
-          let r = Dist_mis.run ~metrics ~mis:Mis.Gps ~variant:Dist_mis.Gbg g in
+          let r = Dist_mis.run ~metrics ~spans ~mis:Mis.Gps ~variant:Dist_mis.Gbg g in
           (r.Dist_mis.schedule, Some r.Dist_mis.stats)
       | Dfs ->
-          let r = Dfs_sched.run ~metrics g in
+          let r = Dfs_sched.run ~metrics ~spans g in
           (r.Dfs_sched.schedule, Some r.Dfs_sched.stats)
       | Dmgc ->
-          let r = Dmgc.run ~metrics g in
+          let r = Dmgc.run ~metrics ~spans g in
           (r.Dmgc.schedule, Some r.Dmgc.stats)
-      | Greedy_a -> (Greedy.color g, None)
+      | Greedy_a -> Span.span spans "greedy" (fun () -> (Greedy.color g, None))
       | Random_a ->
-          let r = Randomized.run ~rng:(rng ()) g in
+          let r = Span.span spans "randomized" (fun () -> Randomized.run ~rng:(rng ()) g) in
           (* sequential reference algorithm: stats are a model, so record
              them directly like the other engine-less paths *)
           Metrics.add_stats
@@ -239,7 +247,7 @@ let run_algo ?(metrics = Metrics.null) algo seed g =
             r.Randomized.stats;
           (r.Randomized.schedule, Some r.Randomized.stats)
       | Exact ->
-          let r = Dsatur.fdlsp_optimal g in
+          let r = Span.span spans "exact" (fun () -> Dsatur.fdlsp_optimal g) in
           (Schedule.of_colors g r.Dsatur.coloring, None))
 
 (* Metrics export format.  A hand-rolled conv (not [Arg.enum]) so a bad
@@ -979,6 +987,97 @@ let metrics_cmd =
           histograms and timelines) in kv, JSON or Prometheus format")
     Term.(const run $ graph_source $ algo $ seed_arg $ format $ out_arg $ verbose_arg)
 
+(* --- profile ----------------------------------------------------------- *)
+
+let profile_cmd =
+  let algo =
+    let doc =
+      "Algorithm: distmis | distmis-general | distmis-gps | dfs | dmgc | greedy | \
+       randomized | exact."
+    in
+    Arg.(value & opt algo_conv Dfs & info [ "a"; "algo" ] ~doc)
+  in
+  let chrome_arg =
+    let doc =
+      "Write the profile as Chrome trace_event JSON to $(docv) (load in \
+       chrome://tracing, Perfetto or speedscope)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let folded_arg =
+    let doc =
+      "Write the profile as folded stacks to $(docv) (pipe into flamegraph.pl or \
+       inferno-flamegraph)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Span ring capacity (oldest entries are overwritten beyond this)." in
+    Arg.(
+      value
+      & opt (checked_int ~min:2 "--capacity") 65_536
+      & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let run graph algo seed chrome folded capacity out verbose =
+    setup_logs verbose;
+    let g = or_die graph in
+    let spans = Span.recorder ~capacity () in
+    let (_ : Schedule.t * Fdlsp_sim.Stats.t option) = run_algo ~spans algo seed g in
+    let entries = Span.entries spans in
+    (* a complete profile must nest perfectly; anything else is a bug in
+       the instrumentation, not in the user's invocation *)
+    if Span.overwritten spans = 0 then
+      (match Span.check_nesting ~require_closed:true entries with
+      | Ok () -> ()
+      | Error m -> or_die (Error ("span nesting violated: " ^ m)))
+    else
+      Logs.warn (fun k ->
+          k "span ring overflowed (%d entries lost); profile is a suffix"
+            (Span.overwritten spans));
+    (match chrome with
+    | Some path -> emit (Some path) (Span.to_chrome entries)
+    | None -> ());
+    (match folded with
+    | Some path -> emit (Some path) (Span.to_folded entries)
+    | None -> ());
+    if chrome = None && folded = None then emit out (Span.to_folded entries)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a scheduling algorithm under the causal span profiler and export the \
+          span tree as folded stacks (default) and/or Chrome trace_event JSON")
+    Term.(
+      const run $ graph_source $ algo $ seed_arg $ chrome_arg $ folded_arg
+      $ capacity_arg $ out_arg $ verbose_arg)
+
+(* --- doctor ------------------------------------------------------------ *)
+
+let doctor_cmd =
+  let dump_arg =
+    let doc = "Flight-recorder dump file (written by 'serve' or on crash)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DUMP" ~doc)
+  in
+  let run dump out =
+    let path =
+      match dump with
+      | Some p -> p
+      | None -> die_usage "doctor expects a DUMP file argument"
+    in
+    let d =
+      try Flight.load path with
+      | Failure m -> or_die (Error m)
+      | Sys_error m -> or_die (Error m)
+    in
+    emit out (Format.asprintf "%a" Flight.pp_story d)
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Reconstruct the last seconds before a crash from a flight-recorder dump: \
+          reason, span window, nesting verdict, recent spans and health samples")
+    Term.(const run $ dump_arg $ out_arg)
+
 (* --- serve ------------------------------------------------------------ *)
 
 (* "u:v" arc endpoints for --query; malformed input dies through
@@ -1112,18 +1211,94 @@ let serve_cmd =
       & opt (some (checked_float ~min:1e-6 "--rate")) None
       & info [ "rate" ] ~docv:"R" ~doc)
   in
+  let health_every_arg =
+    let doc =
+      "Emit one JSONL health sample (window deltas: events, repair quantiles, \
+       admission verdicts, WAL bytes, queue depth, degraded flag) every $(docv) \
+       applied batches, plus a final flush sample."
+    in
+    Arg.(
+      value
+      & opt (some (checked_int ~min:1 "--health-every")) None
+      & info [ "health-every" ] ~docv:"N" ~doc)
+  in
+  let health_out_arg =
+    let doc = "Write health samples to $(docv) instead of stderr." in
+    Arg.(value & opt (some string) None & info [ "health-out" ] ~docv:"FILE" ~doc)
+  in
+  (* "--slo KEY=NUM"; an unknown key or unparseable number dies with the
+     uniform usage contract (exit 2) like every other argument *)
+  let slo_conv =
+    let keys = [ "p99_repair_ms"; "events_per_sec"; "queue_depth" ] in
+    let parse s =
+      match String.index_opt s '=' with
+      | None ->
+          die_usage
+            (Printf.sprintf "--slo expects KEY=NUM with KEY one of %s, got %S"
+               (String.concat "|" keys) s)
+      | Some i -> (
+          let key = String.sub s 0 i in
+          let v = String.sub s (i + 1) (String.length s - i - 1) in
+          if not (List.mem key keys) then
+            die_usage
+              (Printf.sprintf "--slo key must be one of %s, got %S"
+                 (String.concat "|" keys) key);
+          match float_of_string_opt v with
+          | Some f when (not (Float.is_nan f)) && f >= 0. -> Ok (key, f)
+          | _ ->
+              die_usage
+                (Printf.sprintf "--slo %s expects a non-negative number, got %S" key v))
+    in
+    Arg.conv (parse, fun ppf (k, v) -> Format.fprintf ppf "%s=%g" k v)
+  in
+  let slo_arg =
+    let doc =
+      "Burnable SLO threshold, repeatable: p99_repair_ms=MS (window p99 repair \
+       latency ceiling), events_per_sec=N (window throughput floor), \
+       queue_depth=D (admission queue ceiling).  A burned SLO emits an alert \
+       sample and flips the exit code to 1."
+    in
+    Arg.(value & opt_all slo_conv [] & info [ "slo" ] ~docv:"KEY=NUM" ~doc)
+  in
+  let flight_arg =
+    let doc =
+      "Write flight-recorder dumps to $(docv); defaults to DIR/flight.fdr under \
+       --wal.  Dumps are written at startup, every 64 batches, and on apply \
+       failure, recovery scrub, --check divergence, SIGTERM or SIGINT."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
   let run spec file seed events_file synth batch snap restore queries check json out wal
-      recover auto_snapshot max_batch rate verbose =
+      recover auto_snapshot max_batch rate health_every health_out slos flight verbose =
     setup_logs verbose;
     let reg = Metrics.create () in
     let msink = Metrics.sink reg in
+    (* always-on flight recorder: bounded rings, so keeping it hot is a
+       few MB at worst; dumps only happen when a dump path exists *)
+    let fr = Flight.create () in
+    let fspans = Flight.spans fr in
+    let flight_path =
+      match flight with
+      | Some p -> Some p
+      | None -> Option.map (fun dir -> Filename.concat dir "flight.fdr") wal
+    in
+    let flight_dump reason =
+      match flight_path with
+      | None -> ()
+      | Some path -> (
+          try Flight.dump fr ~reason path
+          with Sys_error m -> Logs.warn (fun k -> k "flight dump failed: %s" m))
+    in
+    let num_or_null f = if Float.is_nan f then "null" else Printf.sprintf "%g" f in
     if recover && wal = None then or_die (Error "--recover requires --wal");
     let store, svc, recovery =
       if recover then begin
         if spec <> None || file <> None || restore <> None then
           or_die
             (Error "--recover is mutually exclusive with --generate/--input/--restore");
-        match Wal.Store.recover ~metrics:msink ~auto_snapshot ~dir:(Option.get wal) ()
+        match
+          Wal.Store.recover ~metrics:msink ~spans:fspans ~auto_snapshot
+            ~dir:(Option.get wal) ()
         with
         | st, rv -> (Some st, Wal.Store.service st, Some rv)
         | exception Failure m -> or_die (Error m)
@@ -1139,7 +1314,7 @@ let serve_cmd =
                 try In_channel.with_open_text path In_channel.input_all
                 with Sys_error m -> or_die (Error m)
               in
-              try Service.restore ~metrics:msink text
+              try Service.restore ~metrics:msink ~spans:fspans text
               with Failure m -> or_die (Error m))
           | None, _, _ ->
               let g =
@@ -1152,15 +1327,125 @@ let serve_cmd =
                 | Some _, Some _ ->
                     or_die (Error "--generate and --input are mutually exclusive")
               in
-              Service.create ~metrics:msink (Dfs_sched.run g).Dfs_sched.schedule
+              Service.create ~metrics:msink ~spans:fspans
+                (Dfs_sched.run g).Dfs_sched.schedule
         in
         match wal with
         | Some dir -> (
-            match Wal.Store.create ~metrics:msink ~auto_snapshot ~dir svc with
+            match Wal.Store.create ~metrics:msink ~spans:fspans ~auto_snapshot ~dir svc with
             | st -> (Some st, svc, None)
             | exception Sys_error m -> or_die (Error m))
         | None -> (None, svc, None)
       end
+    in
+    (* whatever SIGKILL leaves behind, the drill must find a dump: write
+       one as soon as the store exists, then refresh it periodically *)
+    (match recovery with
+    | Some rv
+      when rv.Wal.Store.rv_tail <> Wal.Clean || rv.Wal.Store.rv_invalid > 0 ->
+        flight_dump "wal-recovery-scrub"
+    | _ -> ());
+    flight_dump "startup";
+    (try
+       Sys.set_signal Sys.sigterm
+         (Sys.Signal_handle
+            (fun _ ->
+              flight_dump "signal-term";
+              exit 143));
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle
+            (fun _ ->
+              flight_dump "signal-int";
+              exit 130))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let adm =
+      if max_batch = None && rate = None then None
+      else begin
+        let d = Admission.default_limits in
+        let max_batch = Option.value max_batch ~default:d.Admission.max_batch in
+        let rate = Option.value rate ~default:Float.infinity in
+        (* the bucket must hold at least one full batch or a legal batch
+           could never pay and would defer forever; two rate-ticks of
+           headroom keeps a compliant source out of the deferred path *)
+        let burst = Float.max (float_of_int max_batch) (2. *. rate) in
+        Some
+          (Admission.create ~metrics:msink ~spans:fspans
+             ~limits:{ d with Admission.max_batch; rate; burst }
+             ())
+      end
+    in
+    (* streaming health: window deltas over the metrics registry, one
+       JSONL sample every [health_every] applied batches.  [advance]
+       re-baselines after every sample, so summing a field over all
+       samples reconciles exactly with the final counters. *)
+    let win = Metrics.Window.start reg in
+    let health_oc = Option.map open_out health_out in
+    let emit_health line =
+      (match health_oc with
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc
+      | None -> prerr_endline line);
+      Flight.note_health fr line
+    in
+    let slo_burned = ref false in
+    let samples = ref 0 in
+    let repair_hist = Metrics.Name.service_repair ^ "_seconds" in
+    let health_sample () =
+      let module W = Metrics.Window in
+      incr samples;
+      let ev = W.counter_delta win Metrics.Name.service_events in
+      let nobs = W.observations win repair_hist in
+      let rs = W.sum_delta win repair_hist in
+      let p50 = W.quantile win repair_hist 0.5 *. 1000. in
+      let p99 = W.quantile win repair_hist 0.99 *. 1000. in
+      let events_per_sec = if rs > 0. then float_of_int ev /. rs else 0. in
+      let qd = match adm with Some a -> Admission.queue_depth a | None -> 0 in
+      let degraded = match adm with Some a -> Admission.degraded a | None -> false in
+      emit_health
+        (Printf.sprintf
+           "{\"health\":%d,\"batches\":%d,\"events\":%d,\"repairs\":%d,\
+            \"events_per_sec\":%s,\"repair_ms_p50\":%s,\"repair_ms_p99\":%s,\
+            \"queue_depth\":%d,\"admitted\":%d,\"deferred\":%d,\"rejected\":%d,\
+            \"shed\":%d,\"wal_bytes\":%d,\"degraded\":%b}"
+           !samples (Service.totals svc).Service.batches ev nobs
+           (num_or_null events_per_sec) (num_or_null p50) (num_or_null p99) qd
+           (W.counter_delta win Metrics.Name.admission_admitted)
+           (W.counter_delta win Metrics.Name.admission_deferred)
+           (W.counter_delta win Metrics.Name.admission_rejected)
+           (W.counter_delta win Metrics.Name.admission_shed)
+           (W.counter_delta win Metrics.Name.wal_bytes)
+           degraded);
+      List.iter
+        (fun (key, bound) ->
+          let burned, actual =
+            match key with
+            | "p99_repair_ms" -> ((not (Float.is_nan p99)) && p99 > bound, p99)
+            | "events_per_sec" -> (nobs > 0 && events_per_sec < bound, events_per_sec)
+            | "queue_depth" -> (float_of_int qd > bound, float_of_int qd)
+            | _ -> (false, 0.)
+          in
+          if burned then begin
+            slo_burned := true;
+            Span.mark fspans "slo.burned"
+              ~args:[ (key, Printf.sprintf "%g" actual) ];
+            emit_health
+              (Printf.sprintf
+                 "{\"alert\":\"slo\",\"slo\":%S,\"bound\":%g,\"actual\":%s,\
+                  \"sample\":%d}"
+                 key bound (num_or_null actual) !samples)
+          end)
+        slos;
+      Metrics.Window.advance win
+    in
+    let applied = ref 0 in
+    let on_batch () =
+      incr applied;
+      (match health_every with
+      | Some k when !applied mod k = 0 -> health_sample ()
+      | _ -> ());
+      if !applied mod 64 = 0 then flight_dump "periodic"
     in
     let batches =
       match (events_file, synth) with
@@ -1180,26 +1465,13 @@ let serve_cmd =
           (* under admission control earlier batches may have been shed,
              so a now-inconsistent batch is expected load-shedding fallout,
              not a caller bug: skip it and keep serving *)
+          flight_dump "apply-failure";
           if lenient then Logs.warn (fun k -> k "batch skipped: %s" m)
           else or_die (Error m)
-      | (_ : Service.batch) -> ());
-      if check && not (Schedule.valid (Service.schedule svc)) then
+      | (_ : Service.batch) -> on_batch ());
+      if check && not (Schedule.valid (Service.schedule svc)) then begin
+        flight_dump "check-divergence";
         or_die (Error "schedule invalid after batch")
-    in
-    let adm =
-      if max_batch = None && rate = None then None
-      else begin
-        let d = Admission.default_limits in
-        let max_batch = Option.value max_batch ~default:d.Admission.max_batch in
-        let rate = Option.value rate ~default:Float.infinity in
-        (* the bucket must hold at least one full batch or a legal batch
-           could never pay and would defer forever; two rate-ticks of
-           headroom keeps a compliant source out of the deferred path *)
-        let burst = Float.max (float_of_int max_batch) (2. *. rate) in
-        Some
-          (Admission.create ~metrics:msink
-             ~limits:{ d with Admission.max_batch; rate; burst }
-             ())
       end
     in
     (match adm with
@@ -1233,6 +1505,12 @@ let serve_cmd =
           clock := !clock +. 1.;
           drain ()
         done);
+    (* final flush sample: the tail window since the last cadence
+       boundary, so per-field sums over all samples equal the final
+       counters *)
+    (match health_every with Some _ -> health_sample () | None -> ());
+    (match health_oc with Some oc -> close_out oc | None -> ());
+    flight_dump "shutdown";
     (match store with Some st -> Wal.Store.close st | None -> ());
     (match snap with
     | Some path ->
@@ -1254,7 +1532,6 @@ let serve_cmd =
     let events_per_sec =
       if repair_secs > 0. then float_of_int t.Service.events /. repair_secs else 0.
     in
-    let num_or_null f = if Float.is_nan f then "null" else Printf.sprintf "%g" f in
     let tail_name = function
       | Wal.Clean -> "clean"
       | Wal.Torn _ -> "torn"
@@ -1339,7 +1616,8 @@ let serve_cmd =
             | None -> Printf.sprintf "arc %d->%d none\n" u v))
         queries
     end;
-    emit out (Buffer.contents buf)
+    emit out (Buffer.contents buf);
+    if !slo_burned then exit 1
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1352,7 +1630,7 @@ let serve_cmd =
       const run $ spec_opt_arg $ input_opt_arg $ seed_arg $ events_arg $ synth_arg
       $ batch_arg $ snapshot_arg $ restore_arg $ query_arg $ check_flag $ json $ out_arg
       $ wal_arg $ recover_flag $ auto_snapshot_arg $ max_batch_arg $ rate_arg
-      $ verbose_arg)
+      $ health_every_arg $ health_out_arg $ slo_arg $ flight_arg $ verbose_arg)
 
 (* --- bounds ----------------------------------------------------------- *)
 
@@ -1434,5 +1712,7 @@ let () =
             frames_cmd;
             trace_cmd;
             metrics_cmd;
+            profile_cmd;
+            doctor_cmd;
             serve_cmd;
           ]))

@@ -1,4 +1,5 @@
 module Metrics = Fdlsp_sim.Metrics
+module Span = Fdlsp_sim.Span
 module Name = Metrics.Name
 
 let src = Logs.Src.create "fdlsp.admission" ~doc:"service admission control"
@@ -61,6 +62,7 @@ type entry = { e_source : int; e_events : Service.event list; e_cost : int }
 type t = {
   lim : limits;
   metrics : Metrics.sink;
+  spans : Span.sink;
   buckets : (int, bucket) Hashtbl.t;
   ready : entry Queue.t;
   mutable deferred : entry list;  (* arrival order *)
@@ -74,7 +76,8 @@ type t = {
   mutable released : int;
 }
 
-let create ?(metrics = Metrics.null) ?(limits = default_limits) () =
+let create ?(metrics = Metrics.null) ?(spans = Span.null) ?(limits = default_limits)
+    () =
   if limits.queue_cap <= 0 then invalid_arg "Admission.create: queue_cap must be > 0";
   if limits.defer_cap < 0 then invalid_arg "Admission.create: negative defer_cap";
   if limits.max_batch <= 0 then invalid_arg "Admission.create: max_batch must be > 0";
@@ -93,6 +96,7 @@ let create ?(metrics = Metrics.null) ?(limits = default_limits) () =
   {
     lim = limits;
     metrics;
+    spans;
     buckets = Hashtbl.create 16;
     ready = Queue.create ();
     deferred = [];
@@ -207,6 +211,8 @@ let reject t reason =
     Metrics.inc
       (Metrics.with_label t.metrics "reason" (reason_to_string reason))
       Name.admission_rejected;
+  Span.mark t.spans "admission.rejected"
+    ~args:[ ("reason", reason_to_string reason) ];
   Log.debug (fun m -> m "rejected: %s" (reason_to_string reason));
   Rejected reason
 
@@ -250,6 +256,8 @@ let offer t ~source ~now events =
           t.admitted <- t.admitted + 1;
           if Metrics.enabled t.metrics then
             Metrics.inc t.metrics Name.admission_admitted;
+          Span.mark t.spans "admission.admitted"
+            ~args:[ ("cost", string_of_int cost) ];
           update_mode t;
           Admitted
         end
@@ -262,6 +270,8 @@ let offer t ~source ~now events =
           t.deferred_n <- t.deferred_n + 1;
           if Metrics.enabled t.metrics then
             Metrics.inc t.metrics Name.admission_deferred;
+          Span.mark t.spans "admission.deferred"
+            ~args:[ ("cost", string_of_int cost) ];
           update_mode t;
           Deferred
         end

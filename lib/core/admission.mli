@@ -75,9 +75,20 @@ type counts = {
 
 type t
 
-val create : ?metrics:Fdlsp_sim.Metrics.sink -> ?limits:limits -> unit -> t
+val create :
+  ?metrics:Fdlsp_sim.Metrics.sink ->
+  ?spans:Fdlsp_sim.Span.sink ->
+  ?limits:limits ->
+  unit ->
+  t
 (** Raises [Invalid_argument] on nonsensical limits (non-positive
-    capacities, [degrade_low > degrade_high], negative rate). *)
+    capacities, [degrade_low > degrade_high], negative rate).
+
+    [spans] marks every verdict as an instantaneous span event:
+    ["admission.admitted"] / ["admission.deferred"] (with the batch's
+    token cost) and ["admission.rejected"] (with the {!reason}), so a
+    flight-recorder dump shows the admission story interleaved with the
+    repair spans. *)
 
 val offer : t -> source:int -> now:float -> Service.event list -> outcome
 (** Classify and (unless rejected) enqueue one batch.  [now] must be

@@ -159,7 +159,8 @@ let default_roots g =
   Array.to_list roots
 
 let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
-    ?(trace = Trace.null) ?(metrics = Metrics.null) g =
+    ?(trace = Trace.null) ?(metrics = Metrics.null) ?(spans = Span.null) g =
+  Span.span spans "dfs" @@ fun () ->
   let roots = match roots with Some r -> r | None -> default_roots g in
   let metrics =
     Metrics.with_label (Metrics.with_label metrics "algo" "dfs") "phase" "dfs"
@@ -204,7 +205,7 @@ let run ?(policy = Max_degree) ?(delay = Async.Unit) ?faults ?reliable ?roots
   in
   let scratch = Conflict.scratch g in
   let states, stats =
-    Async.run ~delay ?faults ?reliable ~weight ~trace ~metrics g ~init ~starts
+    Async.run ~delay ?faults ?reliable ~weight ~trace ~metrics ~spans g ~init ~starts
       ~handler:(handler ~scratch trace g policy)
   in
   let sched = Schedule.make g in

@@ -36,6 +36,7 @@ val run :
   ?roots:int list ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   Graph.t ->
   result
 (** [roots] designates one initiator per connected component (defaults
@@ -57,4 +58,7 @@ val run :
     [metrics] records the run under [algo=dfs], [phase=dfs] labels: the
     asynchronous engine's counters (an exact view of the returned
     [stats]), plus [token_moves] and [colors] counters and a final
-    [slots] gauge. *)
+    [slots] gauge.
+
+    [spans] records a ["dfs"] root span (setup, the engine's
+    ["async.run"] child, and schedule assembly). *)

@@ -159,12 +159,12 @@ let color_phase ~engine ?(trace = Trace.null) ?(metrics = Metrics.null) g sched 
 
 (* --- the full algorithm ------------------------------------------- *)
 
-let run ?faults ?reliable ?engine ?(trace = Trace.null) ?(metrics = Metrics.null) ~mis
-    ~variant g =
+let run ?faults ?reliable ?engine ?(trace = Trace.null) ?(metrics = Metrics.null)
+    ?(spans = Span.null) ~mis ~variant g =
   let engine =
     match engine with
     | Some e -> e
-    | None -> Reliable.runner ?faults ?config:reliable ~trace ()
+    | None -> Reliable.runner ?faults ?config:reliable ~trace ~spans ()
   in
   let metrics =
     Metrics.with_label
@@ -188,10 +188,14 @@ let run ?faults ?reliable ?engine ?(trace = Trace.null) ?(metrics = Metrics.null
   let m_mis = Metrics.with_label metrics "phase" "mis" in
   let m_sec = Metrics.with_scale dist (Metrics.with_label metrics "phase" "secondary-mis") in
   let m_color = Metrics.with_label metrics "phase" "color" in
+  Span.span spans "distmis" @@ fun () ->
   while any active do
     incr outer;
     phase "mis" 1;
-    let s, mis_stats = Mis.compute ~engine ~metrics:m_mis ~algo:mis g ~active in
+    let s, mis_stats =
+      Span.span spans "distmis.mis" (fun () ->
+          Mis.compute ~engine ~metrics:m_mis ~algo:mis g ~active)
+    in
     Log.debug (fun m ->
         m "outer %d: |S| = %d (%d rounds)" !outer
           (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s)
@@ -213,13 +217,17 @@ let run ?faults ?reliable ?engine ?(trace = Trace.null) ?(metrics = Metrics.null
       let vg, back = virtual_graph g remaining ~dist in
       let vactive = Array.make (Graph.n vg) true in
       phase "secondary-mis" dist;
-      let s_virtual, sec_stats = Mis.compute ~engine ~metrics:m_sec ~algo:mis vg ~active:vactive in
+      let s_virtual, sec_stats =
+        Span.span spans "distmis.secondary-mis" (fun () ->
+            Mis.compute ~engine ~metrics:m_sec ~algo:mis vg ~active:vactive)
+      in
       stats := Stats.add !stats (Stats.scale_rounds dist sec_stats);
       let chosen = Array.make n false in
       Array.iteri (fun i v -> if s_virtual.(i) then chosen.(v) <- true) back;
       phase "color" 1;
       let phase_stats =
-        color_phase ~engine ~trace ~metrics:m_color g sched ~chosen ~outgoing_only
+        Span.span spans "distmis.color" (fun () ->
+            color_phase ~engine ~trace ~metrics:m_color g sched ~chosen ~outgoing_only)
       in
       Log.debug (fun m ->
           m "inner %d: %d winners colored" !inner

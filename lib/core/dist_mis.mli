@@ -45,6 +45,7 @@ val run :
   ?engine:Reliable.sync_runner ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   mis:Mis.algo ->
   variant:variant ->
   Graph.t ->
@@ -84,4 +85,10 @@ val run :
     engine counters it adds [mis_joins], [colors], [outer_iters] and
     [inner_iters] counters and a final [slots] gauge.  Summing the
     registry back with {!Fdlsp_sim.Metrics.to_stats} reproduces the
-    returned [stats] exactly for engine-backed MIS variants. *)
+    returned [stats] exactly for engine-backed MIS variants.
+
+    [spans] records a ["distmis"] root span with one
+    ["distmis.mis"] / ["distmis.secondary-mis"] / ["distmis.color"]
+    child per phase execution, each containing the engine's own run
+    spans; when no [engine] is given, [spans] is also threaded into the
+    default {!Fdlsp_sim.Reliable.runner}. *)

@@ -165,7 +165,8 @@ let two_hop_waves g =
     !waves
   end
 
-let run ?(trace = Trace.null) ?(metrics = Metrics.null) g =
+let run ?(trace = Trace.null) ?(metrics = Metrics.null) ?(spans = Span.null) g =
+  Span.span spans "dmgc" @@ fun () ->
   let metrics =
     List.fold_left
       (fun m (k, v) -> Metrics.with_label m k v)
@@ -182,13 +183,14 @@ let run ?(trace = Trace.null) ?(metrics = Metrics.null) g =
     { schedule = sched; stats = Stats.zero; base_colors = 0; injected_edges = 0 }
   end
   else begin
-    let col, vstats = Vizing.color g in
+    let col, vstats = Span.span spans "dmgc.vizing" (fun () -> Vizing.color g) in
     let base_colors = 1 + Array.fold_left max (-1) col in
     let classes = Array.make base_colors [] in
     Array.iteri (fun e c -> classes.(c) <- e :: classes.(c)) col;
     let injected = ref 0 in
     let orientation_rounds = ref 0 in
     let scratch = Conflict.scratch g in
+    Span.span spans "dmgc.orient" (fun () ->
     Array.iteri
       (fun c class_edges ->
         let assigned, deferred = orient_class g class_edges in
@@ -213,7 +215,7 @@ let run ?(trace = Trace.null) ?(metrics = Metrics.null) g =
                 Schedule.set sched a (first (2 * base_colors)))
               [ 0; 1 ])
           deferred)
-      classes;
+      classes);
     Log.debug (fun m ->
         m "phase 1: %d base colors; phase 2 deferred %d edges to injected colors"
           base_colors !injected);

@@ -31,7 +31,12 @@ type result = {
   injected_edges : int;  (** edges deferred to injected colors *)
 }
 
-val run : ?trace:Fdlsp_sim.Trace.sink -> ?metrics:Metrics.sink -> Graph.t -> result
+val run :
+  ?trace:Fdlsp_sim.Trace.sink ->
+  ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
+  Graph.t ->
+  result
 (** [trace] records a decision-only trace: one ["dmgc"] phase marker and
     one [Color] event per arc of the finished schedule (attributed to
     the arc's tail), in arc-id order.  D-MGC's stats are a cost model
@@ -42,7 +47,11 @@ val run : ?trace:Fdlsp_sim.Trace.sink -> ?metrics:Metrics.sink -> Graph.t -> res
     under [algo=dmgc], [engine=model], [phase=dmgc] labels (so
     {!Fdlsp_sim.Metrics.to_stats} stays an exact view of the returned
     record), plus a [colors] counter and [fdlsp_base_colors],
-    [fdlsp_injected_edges] and [slots] gauges. *)
+    [fdlsp_injected_edges] and [slots] gauges.
+
+    [spans] records a ["dmgc"] root span with ["dmgc.vizing"]
+    (phase-1 Misra–Gries coloring) and ["dmgc.orient"] (phase-2
+    orientation + injection) children. *)
 
 val orient_class :
   Graph.t -> int list -> (int * int) list * int list

@@ -1,6 +1,7 @@
 open Fdlsp_graph
 open Fdlsp_color
 module Metrics = Fdlsp_sim.Metrics
+module Span = Fdlsp_sim.Span
 module Json = Fdlsp_sim.Trace.Json
 module Name = Metrics.Name
 
@@ -33,6 +34,7 @@ type batch = {
 
 type t = {
   metrics : Metrics.sink;
+  spans : Span.sink;
   refine : bool;
   mutable n : int;
   mutable alive : bool array;
@@ -49,12 +51,13 @@ type t = {
   mutable t_recolored : int;
 }
 
-let create ?(metrics = Metrics.null) ?(refine = true) sched =
+let create ?(metrics = Metrics.null) ?(spans = Span.null) ?(refine = true) sched =
   if not (Schedule.valid sched) then
     invalid_arg "Service.create: schedule does not validate";
   let g = Schedule.graph sched in
   {
     metrics;
+    spans;
     refine;
     n = Graph.n g;
     alive = Array.make (Graph.n g) true;
@@ -255,8 +258,10 @@ let apply_ops t ops ~n_events =
       Hashtbl.replace degraded (u, v) ())
     degrades;
   (* survivors keep both arc colors across the rebuild *)
-  let survivors = ref [] in
-  Graph.iter_edges t.graph (fun e u v ->
+  let g', sched' =
+    Span.span t.spans "service.rebuild" @@ fun () ->
+    let survivors = ref [] in
+    Graph.iter_edges t.graph (fun e u v ->
       if
         alive'.(u) && alive'.(v)
         && (not reset.(u))
@@ -285,13 +290,15 @@ let apply_ops t ops ~n_events =
     List.rev_map (fun (u, v, _, _) -> (u, v)) !survivors
     |> Hashtbl.fold (fun e () acc -> e :: acc) fresh_edges
   in
-  let g' = Graph.create ~n:n' edges in
-  let sched' = Schedule.make g' in
-  List.iter
-    (fun (u, v, cuv, cvu) ->
-      if cuv >= 0 then Schedule.set sched' (Arc.make g' u v) cuv;
-      if cvu >= 0 then Schedule.set sched' (Arc.make g' v u) cvu)
-    !survivors;
+    let g' = Graph.create ~n:n' edges in
+    let sched' = Schedule.make g' in
+    List.iter
+      (fun (u, v, cuv, cvu) ->
+        if cuv >= 0 then Schedule.set sched' (Arc.make g' u v) cuv;
+        if cvu >= 0 then Schedule.set sched' (Arc.make g' v u) cvu)
+      !survivors;
+    (g', sched')
+  in
   (* coarse repair: first-fit every arc incident to a reset node *)
   let scratch = scratch_for t g' in
   let touched : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -305,11 +312,12 @@ let apply_ops t ops ~n_events =
   for v = n' - 1 downto 0 do
     if reset.(v) then reset_nodes := v :: !reset_nodes
   done;
-  List.iter
-    (fun v ->
-      Arc.iter_incident g' v (fun a ->
-          if not (Schedule.is_colored sched' a) then recolor a))
-    !reset_nodes;
+  Span.span t.spans "service.recolor" (fun () ->
+      List.iter
+        (fun v ->
+          Arc.iter_incident g' v (fun a ->
+              if not (Schedule.is_colored sched' a) then recolor a))
+        !reset_nodes);
   (* fixup: re-check the touched neighborhood (see the argument above —
      expected to find nothing, kept as a runtime safety net) *)
   let exception Clash in
@@ -327,17 +335,18 @@ let apply_ops t ops ~n_events =
       tnodes.(v) <- true;
       Graph.iter_neighbors g' v (fun w -> tnodes.(w) <- true))
     !reset_nodes;
-  for v = 0 to n' - 1 do
-    if tnodes.(v) then
-      Arc.iter_incident g' v (fun a ->
-          let c = Schedule.get sched' a in
-          if c >= 0 && clashes a c then recolor a)
-  done;
+  Span.span t.spans "service.fixup" (fun () ->
+      for v = 0 to n' - 1 do
+        if tnodes.(v) then
+          Arc.iter_incident g' v (fun a ->
+              let c = Schedule.get sched' a in
+              if c >= 0 && clashes a c then recolor a)
+      done);
   (* refine: pull carried colors back under the current slot budget *)
-  if t.refine then begin
-    let ub = Bounds.upper g' in
-    Arc.iter g' (fun a -> if Schedule.get sched' a >= ub then recolor a)
-  end;
+  if t.refine then
+    Span.span t.spans "service.refine" (fun () ->
+        let ub = Bounds.upper g' in
+        Arc.iter g' (fun a -> if Schedule.get sched' a >= ub then recolor a));
   t.n <- n';
   t.alive <- alive';
   t.graph <- g';
@@ -356,8 +365,9 @@ let apply_ops t ops ~n_events =
 
 let apply t events =
   let n_events = List.length events in
-  let ops = coalesce t events in
+  let ops = Span.span t.spans "service.coalesce" (fun () -> coalesce t events) in
   let b =
+    Span.span t.spans "service.repair" @@ fun () ->
     Metrics.timed t.metrics Name.service_repair (fun () ->
         match ops with
         | [] ->
@@ -410,7 +420,7 @@ let snapshot t =
   let payload = Buffer.contents b in
   payload ^ Printf.sprintf "checksum %s\n" (Digest.to_hex (Digest.string payload))
 
-let restore ?(metrics = Metrics.null) text =
+let restore ?(metrics = Metrics.null) ?(spans = Span.null) text =
   let fail fmt = Printf.ksprintf failwith fmt in
   let fail_s msg = fail "Service.restore: %s" msg in
   (* split off the trailing checksum line; everything before it is the
@@ -487,6 +497,7 @@ let restore ?(metrics = Metrics.null) text =
     alive;
   {
     metrics;
+    spans;
     refine;
     n = Graph.n g;
     alive;

@@ -77,11 +77,24 @@ type batch = {
 
 type t
 
-val create : ?metrics:Fdlsp_sim.Metrics.sink -> ?refine:bool -> Schedule.t -> t
+val create :
+  ?metrics:Fdlsp_sim.Metrics.sink ->
+  ?spans:Fdlsp_sim.Span.sink ->
+  ?refine:bool ->
+  Schedule.t ->
+  t
 (** [create sched] starts a service from a valid complete schedule (the
     schedule is copied; raises [Invalid_argument] otherwise).  All nodes
     start alive.  [refine] (default [true]) enables the post-batch slot
-    budget enforcement; {!Churn} disables it to measure raw drift. *)
+    budget enforcement; {!Churn} disables it to measure raw drift.
+
+    [spans] (default {!Fdlsp_sim.Span.null}) instruments every batch:
+    {!apply} records a ["service.coalesce"] span and a
+    ["service.repair"] span whose children break the repair down into
+    ["service.rebuild"] (conflict-graph rebuild + color carry-over),
+    ["service.recolor"] (coarse first-fit), ["service.fixup"]
+    (touched-neighborhood re-check) and ["service.refine"] (slot-budget
+    enforcement). *)
 
 (** {1 Queries — O(1) between batches} *)
 
@@ -135,7 +148,8 @@ val apply : t -> event list -> batch
 
 val snapshot : t -> string
 
-val restore : ?metrics:Fdlsp_sim.Metrics.sink -> string -> t
+val restore :
+  ?metrics:Fdlsp_sim.Metrics.sink -> ?spans:Fdlsp_sim.Span.sink -> string -> t
 (** Raises [Failure] on malformed input or checksum mismatch
     (tampered or truncated snapshot). *)
 

@@ -35,7 +35,8 @@ type report = {
 let default_settle = 24
 
 let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null)
-    ?(metrics = Metrics.null) ?rounds ?(settle = default_settle) g sched0 =
+    ?(metrics = Metrics.null) ?(spans = Span.null) ?rounds ?(settle = default_settle) g
+    sched0 =
   let metrics =
     Metrics.with_label (Metrics.with_label metrics "algo" "stabilize") "phase" "stabilize"
   in
@@ -217,10 +218,11 @@ let run ?(faults = Fault.none) ?reliable ?engine ?(trace = Trace.null)
   let engine =
     match engine with
     | Some e -> e
-    | None -> Reliable.runner ~faults ?config:reliable ~trace ()
+    | None -> Reliable.runner ~faults ?config:reliable ~trace ~spans ()
   in
   let _, stats =
-    engine.Reliable.run ~blip:blip_hook ~weight:List.length ~metrics g ~init ~step
+    Span.span spans "stabilize" (fun () ->
+        engine.Reliable.run ~blip:blip_hook ~weight:List.length ~metrics g ~init ~step)
   in
   let schedule = Schedule.of_colors g mirror in
   let converged = Schedule.valid schedule in

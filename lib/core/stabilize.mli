@@ -62,6 +62,7 @@ val run :
   ?engine:Reliable.sync_runner ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   ?rounds:int ->
   ?settle:int ->
   Graph.t ->
@@ -94,7 +95,12 @@ val run :
     [detects] / [recolorings] / [fdlsp_blips_applied_total] counters
     matching the report fields, a [recolor_activity] timeline (the
     cumulative recoloring count sampled at each repair's round), and
-    [fdlsp_initial_slots] / [slots] gauges. *)
+    [fdlsp_initial_slots] / [slots] gauges.
+
+    [spans] records a ["stabilize"] root span around the heartbeat
+    execution (containing the engine's run/round spans); when no
+    [engine] is given it is also threaded into the default
+    {!Reliable.runner}. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Stable one-line [key=value] rendering. *)

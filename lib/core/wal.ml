@@ -1,4 +1,5 @@
 module Metrics = Fdlsp_sim.Metrics
+module Span = Fdlsp_sim.Span
 module Name = Metrics.Name
 
 let src = Logs.Src.create "fdlsp.wal" ~doc:"write-ahead event log"
@@ -109,6 +110,7 @@ module Store = struct
     auto_snapshot : int;
     retain : int;
     metrics : Metrics.sink;
+    spans : Span.sink;
     svc : Service.t;
     mutable oc : out_channel;
     mutable since_snapshot : int;
@@ -168,7 +170,8 @@ module Store = struct
   let wal_segments t = t.segments
 
   let write_snapshot t =
-    write_atomic (snap_path t.s_dir) (Service.snapshot t.svc);
+    Span.span t.spans "wal.snapshot" (fun () ->
+        write_atomic (snap_path t.s_dir) (Service.snapshot t.svc));
     if Metrics.enabled t.metrics then Metrics.inc t.metrics Name.wal_snapshots
 
   let snapshot_now t =
@@ -176,7 +179,8 @@ module Store = struct
     truncate_wal t ~covered_below:(Service.totals t.svc).Service.batches;
     t.since_snapshot <- 0
 
-  let create ?(metrics = Metrics.null) ?(auto_snapshot = 0) ?(retain = 0) ~dir svc =
+  let create ?(metrics = Metrics.null) ?(spans = Span.null) ?(auto_snapshot = 0)
+      ?(retain = 0) ~dir svc =
     check_knobs ~auto_snapshot ~retain;
     ensure_dir dir;
     let t =
@@ -185,6 +189,7 @@ module Store = struct
         auto_snapshot;
         retain;
         metrics;
+        spans;
         svc;
         oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 (wal_path dir);
         since_snapshot = 0;
@@ -199,8 +204,8 @@ module Store = struct
     if t.closed then invalid_arg "Wal.Store.apply: store is closed";
     let seq = (Service.totals t.svc).Service.batches in
     let seg = encode_segment ~seq events in
-    output_string t.oc seg;
-    flush t.oc;
+    Span.span t.spans "wal.append" (fun () -> output_string t.oc seg);
+    Span.span t.spans "wal.fsync" (fun () -> flush t.oc);
     t.segments <- t.segments + 1;
     if Metrics.enabled t.metrics then begin
       Metrics.inc t.metrics Name.wal_appends;
@@ -214,15 +219,17 @@ module Store = struct
       snapshot_now t;
     b
 
-  let recover ?(metrics = Metrics.null) ?(auto_snapshot = 0) ?(retain = 0) ~dir () =
+  let recover ?(metrics = Metrics.null) ?(spans = Span.null) ?(auto_snapshot = 0)
+      ?(retain = 0) ~dir () =
     check_knobs ~auto_snapshot ~retain;
+    Span.span spans "wal.recover" @@ fun () ->
     let snap =
       match In_channel.with_open_bin (snap_path dir) In_channel.input_all with
       | text -> text
       | exception Sys_error m ->
           failwith (Printf.sprintf "Wal.Store.recover: no snapshot in %s (%s)" dir m)
     in
-    let svc = Service.restore ~metrics snap in
+    let svc = Service.restore ~metrics ~spans snap in
     let path = wal_path dir in
     let { r_segments; r_tail; _ } = read_file path in
     let replayed = ref 0 and covered = ref 0 and invalid = ref 0 in
@@ -281,6 +288,7 @@ module Store = struct
         auto_snapshot;
         retain;
         metrics;
+        spans;
         svc;
         oc = open_append path;
         since_snapshot = 0;

@@ -80,6 +80,7 @@ module Store : sig
 
   val create :
     ?metrics:Fdlsp_sim.Metrics.sink ->
+    ?spans:Fdlsp_sim.Span.sink ->
     ?auto_snapshot:int ->
     ?retain:int ->
     dir:string ->
@@ -92,10 +93,16 @@ module Store : sig
       (default [0]) keeps that many newest snapshot-covered segments in
       the log for forensics.  The service is owned by the store from
       here on.  Raises [Invalid_argument] on negative knobs, [Sys_error]
-      on filesystem failure. *)
+      on filesystem failure.
+
+      [spans] records ["wal.append"] / ["wal.fsync"] spans per applied
+      batch and a ["wal.snapshot"] span per snapshot write (give the
+      store the same sink as its service so the WAL spans and the
+      repair spans interleave in one causal stream). *)
 
   val recover :
     ?metrics:Fdlsp_sim.Metrics.sink ->
+    ?spans:Fdlsp_sim.Span.sink ->
     ?auto_snapshot:int ->
     ?retain:int ->
     dir:string ->
@@ -107,7 +114,9 @@ module Store : sig
       truncate any damaged tail off the log, and reopen for appending.
       The result is {!Service.equal} to the crashed process's last
       applied state.  Raises [Failure] when [dir] has no readable
-      snapshot. *)
+      snapshot.  [spans] wraps the whole recovery in a ["wal.recover"]
+      span (the restored service's repair spans nest inside it) and is
+      kept by the store as in {!create}. *)
 
   val service : t -> Service.t
   val dir : t -> string

@@ -252,8 +252,8 @@ type ('state, 'msg) handler = 'msg ctx -> 'state -> sender:int -> 'msg -> 'state
 exception Too_many_events of int
 
 let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults ?corrupt
-    ?blip ?reliable ?drift ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init
-    ~starts ~handler =
+    ?blip ?reliable ?drift ?(trace = Trace.null) ?(metrics = Metrics.null)
+    ?(spans = Span.null) g ~init ~starts ~handler =
   let metrics = Metrics.with_label metrics "engine" "async" in
   let mtr = Metrics.enabled metrics in
   (match delay with
@@ -360,6 +360,9 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     temit engine (Trace.Drop { src; dst })
   in
   let events = ref 0 in
+  (* one span for the whole delivery loop: per-event spans would swamp
+     the ring (an async run is millions of heap pops) *)
+  Span.span spans "async.run" @@ fun () ->
   while not (Heap.is_empty engine.heap) do
     incr events;
     if !events > max_events then raise (Too_many_events max_events);

@@ -53,6 +53,7 @@ val run :
   ?drift:(int -> float) ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   Graph.t ->
   init:(int -> 'state) ->
   starts:(int * ('msg ctx -> 'state -> 'state)) list ->
@@ -111,4 +112,9 @@ val run :
     {!Metrics.Name.queue_depth} histogram observation per popped event,
     and a {!Metrics.Name.round_messages} series point (cumulative sends
     against the clock) per user-level delivery.  Like tracing, metrics
-    never perturb the event heap. *)
+    never perturb the event heap.
+
+    [spans] (default {!Span.null}) records a single ["async.run"] span
+    around the delivery loop — per-event spans would swamp the bounded
+    ring, so callers wanting finer structure add their own spans in
+    handlers. *)

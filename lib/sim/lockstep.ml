@@ -15,7 +15,7 @@ type ('state, 'msg) lnode = {
 }
 
 let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit) ?(blips = []) ?blip
-    ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init ~step =
+    ?(trace = Trace.null) ?(metrics = Metrics.null) ?(spans = Span.null) g ~init ~step =
   (* claim the engine label before Async.run applies its own default *)
   let metrics = Metrics.with_label metrics "engine" "lockstep" in
   let n = Graph.n g in
@@ -138,17 +138,19 @@ let run_async ?max_rounds ?(weight = fun _ -> 1) ?(delay = Async.Unit) ?(blips =
             nd.ustate <- f b nd.ustate)
   in
   let _, stats =
-    Async.run ?max_events ~delay ~weight:frame_weight ?faults ?blip:ablip ~trace ~metrics
-      g
-      ~init:(fun _ -> ())
-      ~starts ~handler
+    Span.span spans "lockstep.run" (fun () ->
+        Async.run ?max_events ~delay ~weight:frame_weight ?faults ?blip:ablip ~trace
+          ~metrics ~spans g
+          ~init:(fun _ -> ())
+          ~starts ~handler)
   in
   (Array.map (fun nd -> nd.ustate) nodes, stats)
 
-let runner ?delay ?(trace = Trace.null) ?(blips = []) () =
+let runner ?delay ?(trace = Trace.null) ?(blips = []) ?(spans = Span.null) () =
   {
     Reliable.run =
       (fun ?max_rounds ?weight ?blip ?metrics g ~init ~step ->
-        run_async ?max_rounds ?weight ?delay ~blips ?blip ~trace ?metrics g ~init ~step);
+        run_async ?max_rounds ?weight ?delay ~blips ?blip ~trace ~spans ?metrics g ~init
+          ~step);
     faulty = false;
   }

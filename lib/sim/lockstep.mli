@@ -20,6 +20,7 @@ val run_async :
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) Sync.step ->
@@ -38,12 +39,16 @@ val run_async :
     [metrics] is forwarded to the asynchronous engine with the [engine]
     label pre-set to [lockstep] (so the registry distinguishes the
     synchronizer from a plain async run); the engine records its
-    returned stats, queue depths and cumulative-send series under it. *)
+    returned stats, queue depths and cumulative-send series under it.
+
+    [spans] records a ["lockstep.run"] span with the engine's
+    ["async.run"] span nested inside it. *)
 
 val runner :
   ?delay:Async.delay ->
   ?trace:Trace.sink ->
   ?blips:Fault.blip list ->
+  ?spans:Span.sink ->
   unit ->
   Reliable.sync_runner
 (** The adapter as a first-class engine, pluggable anywhere a

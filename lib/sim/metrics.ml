@@ -332,7 +332,14 @@ let timed m name f =
         let m1 = Gc.minor_words () in
         let major st = st.Gc.major_words -. st.Gc.promoted_words in
         observe m (name ^ "_seconds") dt;
-        inc ~by:(int_of_float (Float.max 0. (m1 -. m0 +. major g1 -. major g0)))
+        (* clamp the two heaps separately: runtimes disagree on whether
+           [major_words] includes promoted words, and a negative major
+           correction must not swallow the (always valid) minor count *)
+        inc
+          ~by:
+            (int_of_float
+               (Float.max 0. (m1 -. m0)
+               +. Float.max 0. (major g1 -. major g0)))
           m
           (name ^ "_alloc_words_total");
         inc ~by:(g1.Gc.major_collections - g0.Gc.major_collections)
@@ -431,6 +438,95 @@ let merge_into ~dst src =
               end)
             (List.rev s.pts))
     src.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A window is a baseline snapshot of per-name aggregates (counters
+   summed across label sets, histograms merged); deltas against the
+   live registry give "since last sample" rates and quantiles for the
+   streaming health monitor.  Because every delta is
+   [current - baseline] and [advance] re-baselines to exactly the
+   values just reported, the sum of all window deltas over a run equals
+   the final registry counters — the reconciliation the health tests
+   pin. *)
+module Window = struct
+  type snap = {
+    s_counters : (string, int) Hashtbl.t;
+    s_hists : (string, Hist.t) Hashtbl.t;
+  }
+
+  type w = { w_reg : t; mutable base : snap }
+
+  let copy_hist (h : Hist.t) : Hist.t =
+    { h with Hist.counts = Array.copy h.Hist.counts }
+
+  let take reg =
+    let s_counters = Hashtbl.create 32 and s_hists = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun (name, _) v ->
+        match v with
+        | Counter c ->
+            Hashtbl.replace s_counters name
+              (!c + Option.value (Hashtbl.find_opt s_counters name) ~default:0)
+        | Histo h ->
+            Hashtbl.replace s_hists name
+              (match Hashtbl.find_opt s_hists name with
+              | None -> copy_hist h
+              | Some a -> Hist.merge a h)
+        | _ -> ())
+      reg.tbl;
+    { s_counters; s_hists }
+
+  let start reg = { w_reg = reg; base = take reg }
+  let advance w = w.base <- take w.w_reg
+
+  let counter_delta w name =
+    counter_value w.w_reg name
+    - Option.value (Hashtbl.find_opt w.base.s_counters name) ~default:0
+
+  (* Bucket-wise subtraction.  min/max are approximated from the
+     nonzero delta buckets (bucket edges, not exact observations) so
+     [Hist.quantile] stays clamped inside the delta's actual range. *)
+  let sub_hist (cur : Hist.t) (base : Hist.t) : Hist.t =
+    let d = Hist.create () in
+    let first = ref (-1) and last = ref (-1) in
+    for i = 0 to Hist.nbuckets - 1 do
+      let c = max 0 (cur.Hist.counts.(i) - base.Hist.counts.(i)) in
+      d.Hist.counts.(i) <- c;
+      if c > 0 then begin
+        if !first < 0 then first := i;
+        last := i
+      end
+    done;
+    d.Hist.total <- max 0 (cur.Hist.total - base.Hist.total);
+    d.Hist.sum <- cur.Hist.sum -. base.Hist.sum;
+    if !first >= 0 then begin
+      d.Hist.min_v <- (if !first = 0 then 0. else Hist.bound (!first - 1));
+      d.Hist.max_v <- Hist.bound !last
+    end;
+    d
+
+  let delta_hist w name =
+    match histogram w.w_reg name with
+    | None -> None
+    | Some cur -> (
+        match Hashtbl.find_opt w.base.s_hists name with
+        | None -> Some (copy_hist cur)
+        | Some base -> Some (sub_hist cur base))
+
+  let observations w name =
+    match delta_hist w name with None -> 0 | Some d -> Hist.count d
+
+  let sum_delta w name =
+    match delta_hist w name with None -> 0. | Some d -> Hist.sum d
+
+  let quantile w name q =
+    match delta_hist w name with
+    | None -> Float.nan
+    | Some d -> Hist.quantile d q
+end
 
 (* ------------------------------------------------------------------ *)
 (* Exposition                                                         *)

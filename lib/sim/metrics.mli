@@ -141,6 +141,40 @@ val merge_into : dst:t -> t -> unit
 (** Fold [src] into [dst]: counters add, gauges overwrite, histograms
     merge, series append. *)
 
+(** {1 Sliding windows}
+
+    A {!Window.w} is a baseline snapshot of per-name aggregates
+    (counters summed across label sets, histograms merged across label
+    sets).  Deltas against the live registry give "since last sample"
+    rates and quantiles — the substrate of [fdlsp serve
+    --health-every].  Every delta is [current - baseline] and
+    {!Window.advance} re-baselines to exactly the values just read, so
+    the sum of a run's window deltas equals its final counters. *)
+module Window : sig
+  type w
+
+  val start : t -> w
+  (** Snapshot the registry as the baseline. *)
+
+  val advance : w -> unit
+  (** Re-baseline to the registry's current values; subsequent deltas
+      are relative to this instant. *)
+
+  val counter_delta : w -> string -> int
+  (** Counter sum now minus at baseline (all label sets). *)
+
+  val observations : w -> string -> int
+  (** Histogram observation count added since baseline. *)
+
+  val sum_delta : w -> string -> float
+  (** Histogram sum added since baseline. *)
+
+  val quantile : w -> string -> float -> float
+  (** Quantile of the observations added since baseline (bucket-wise
+      histogram subtraction; min/max approximated by the delta's
+      nonzero bucket edges).  NaN when nothing was observed. *)
+end
+
 (** {1 Exposition} *)
 
 val to_kv : t -> string

@@ -40,7 +40,8 @@ type ('state, 'msg) rnode = {
 }
 
 let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config = default)
-    ?blip ?(trace = Trace.null) ?(metrics = Metrics.null) g ~init ~step =
+    ?blip ?(trace = Trace.null) ?(metrics = Metrics.null) ?(spans = Span.null) g ~init
+    ~step =
   let metrics = Metrics.with_label metrics "engine" "reliable" in
   let mtr = Metrics.enabled metrics in
   check_config config;
@@ -286,8 +287,8 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
       nodes;
     !stuck
   in
-  while not (finished ()) do
-    if !p >= max_rounds then raise (Sync.Did_not_terminate max_rounds);
+  (* one closure reused every physical round, as in [Sync.run] *)
+  let do_round () =
     incr p;
     if traced then begin
       Trace.emit trace ~t:(float_of_int !p) (Trace.Round_start !p);
@@ -327,7 +328,12 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     nxt := !late;
     Array.fill consumed 0 n [];
     late := consumed
-  done;
+  in
+  Span.span spans "reliable.run" (fun () ->
+      while not (finished ()) do
+        if !p >= max_rounds then raise (Sync.Did_not_terminate max_rounds);
+        Span.span spans "reliable.round" do_round
+      done);
   let stats =
     Stats.make ~rounds:!p ~messages:!messages ~volume:!volume
       ~dropped:(Fault.dropped session) ~duplicated:(Fault.duplicated session)
@@ -359,14 +365,14 @@ let raw_runner =
     faulty = false;
   }
 
-let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) () =
+let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) ?(spans = Span.null) () =
   if Fault.is_none faults then
-    if not (Trace.enabled trace) then raw_runner
+    if (not (Trace.enabled trace)) && not (Span.enabled spans) then raw_runner
     else
       {
         run =
           (fun ?max_rounds ?weight ?blip:_ ?metrics g ~init ~step ->
-            Sync.run ?max_rounds ?weight ~trace ?metrics g ~init ~step);
+            Sync.run ?max_rounds ?weight ~trace ~spans ?metrics g ~init ~step);
         faulty = false;
       }
   else if Fault.lossless faults then
@@ -375,14 +381,15 @@ let runner ?(faults = Fault.none) ?config ?(trace = Trace.null) () =
     {
       run =
         (fun ?max_rounds ?weight ?blip ?metrics g ~init ~step ->
-          Sync.run ?max_rounds ?weight ~faults ?blip ~trace ?metrics g ~init ~step);
+          Sync.run ?max_rounds ?weight ~faults ?blip ~trace ~spans ?metrics g ~init
+            ~step);
       faulty = false;
     }
   else
     {
       run =
         (fun ?max_rounds ?weight ?blip ?metrics g ~init ~step ->
-          run_sync ?max_rounds ?weight ~faults ?config ?blip ~trace ?metrics g ~init
-            ~step);
+          run_sync ?max_rounds ?weight ~faults ?config ?blip ~trace ~spans ?metrics g
+            ~init ~step);
       faulty = true;
     }

@@ -50,6 +50,7 @@ val run_sync :
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) Sync.step ->
@@ -79,7 +80,10 @@ val run_sync :
     {e physical} stats via {!Metrics.add_stats}, a
     {!Metrics.Name.round_messages} series point per physical round, and
     a {!Metrics.Name.pending_frames} histogram observation (total
-    unacked frames across nodes) per physical round. *)
+    unacked frames across nodes) per physical round.
+
+    [spans] records a ["reliable.run"] span around the execution with
+    one ["reliable.round"] child per physical round. *)
 
 type sync_runner = {
   run :
@@ -105,8 +109,14 @@ val raw_runner : sync_runner
 (** {!Sync.run} itself. *)
 
 val runner :
-  ?faults:Fault.plan -> ?config:config -> ?trace:Trace.sink -> unit -> sync_runner
+  ?faults:Fault.plan ->
+  ?config:config ->
+  ?trace:Trace.sink ->
+  ?spans:Span.sink ->
+  unit ->
+  sync_runner
 (** The reliable engine over [faults]; with an empty plan this is
-    {!raw_runner} (or a traced {!Sync.run} when [trace] is enabled), and
-    with a {!Fault.lossless} plan (blips but a clean channel) it is the
-    plain synchronous engine threading the blips. *)
+    {!raw_runner} (or an instrumented {!Sync.run} when [trace] or
+    [spans] is enabled), and with a {!Fault.lossless} plan (blips but a
+    clean channel) it is the plain synchronous engine threading the
+    blips. *)

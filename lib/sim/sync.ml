@@ -8,7 +8,7 @@ type ('state, 'msg) step =
 exception Did_not_terminate of int
 
 let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trace.null)
-    ?(metrics = Metrics.null) g ~init ~step =
+    ?(metrics = Metrics.null) ?(spans = Span.null) g ~init ~step =
   let metrics = Metrics.with_label metrics "engine" "sync" in
   let mtr = Metrics.enabled metrics in
   let n = Graph.n g in
@@ -112,8 +112,9 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
           !buffer.(dest) <- (v, payload) :: !buffer.(dest)
         done
   in
-  while any_live () do
-    if !rounds >= max_rounds then raise (Did_not_terminate max_rounds);
+  (* one closure, reused every round, so the instrumented path does not
+     allocate per round; with [Span.null] the wrapper is exactly a call *)
+  let do_round () =
     incr rounds;
     let now = float_of_int !rounds in
     if traced then begin
@@ -173,7 +174,12 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
     next_inboxes := !late_inboxes;
     Array.fill consumed 0 n [];
     late_inboxes := consumed
-  done;
+  in
+  Span.span spans "sync.run" (fun () ->
+      while any_live () do
+        if !rounds >= max_rounds then raise (Did_not_terminate max_rounds);
+        Span.span spans "sync.round" do_round
+      done);
   let dropped, duplicated, corruptions =
     match session with
     | None -> (0, 0, 0)

@@ -28,6 +28,7 @@ val run :
   ?blip:(Fault.blip -> 'state -> 'state) ->
   ?trace:Trace.sink ->
   ?metrics:Metrics.sink ->
+  ?spans:Span.sink ->
   Graph.t ->
   init:(int -> 'state * bool) ->
   step:('state, 'msg) step ->
@@ -69,4 +70,8 @@ val run :
     {!Metrics.add_stats}, so [Metrics.to_stats] reproduces the returned
     record exactly), a {!Metrics.Name.round_messages} series point per
     round, and a {!Metrics.Name.inbox_depth} histogram observation per
-    user-level delivery batch. *)
+    user-level delivery batch.
+
+    [spans] (default {!Span.null}) records a ["sync.run"] span around
+    the whole execution and one ["sync.round"] child per round.  With
+    the null sink each wrapper is a single pattern match. *)

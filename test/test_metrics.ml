@@ -162,6 +162,34 @@ let test_timed () =
   | Some h -> Alcotest.(check int) "raised section still timed" 1 (Metrics.Hist.count h)
   | None -> Alcotest.fail "boom_seconds missing"
 
+(* Nested [timed] sections attribute independently: the outer section's
+   wall time and allocation include the inner's (no subtraction), and
+   an exception raised two levels deep still closes both. *)
+let test_timed_nested () =
+  let reg = Metrics.create () in
+  let m = Metrics.sink reg in
+  let work () = ignore (List.init 20_000 Fun.id) in
+  let hist name =
+    match Metrics.histogram reg (name ^ "_seconds") with
+    | Some h -> h
+    | None -> Alcotest.failf "%s_seconds missing" name
+  in
+  Metrics.timed m "outer" (fun () ->
+      Metrics.timed m "inner" work;
+      Metrics.timed m "inner" work);
+  Alcotest.(check int) "outer timed once" 1 (Metrics.Hist.count (hist "outer"));
+  Alcotest.(check int) "inner timed twice" 2 (Metrics.Hist.count (hist "inner"));
+  Alcotest.(check bool) "outer wall time covers inner" true
+    (Metrics.Hist.sum (hist "outer") >= Metrics.Hist.sum (hist "inner"));
+  let oa = Metrics.counter_value reg "outer_alloc_words_total"
+  and ia = Metrics.counter_value reg "inner_alloc_words_total" in
+  if oa < ia then Alcotest.failf "outer allocation %d < inner %d" oa ia;
+  (* an exception through both levels still records one sample each *)
+  (try Metrics.timed m "o" (fun () -> Metrics.timed m "i" (fun () -> failwith "x"))
+   with Failure _ -> ());
+  Alcotest.(check int) "outer counted after raise" 1 (Metrics.Hist.count (hist "o"));
+  Alcotest.(check int) "inner counted after raise" 1 (Metrics.Hist.count (hist "i"))
+
 (* ------------------------------------------------------------------ *)
 (* Exposition formats                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -283,11 +311,10 @@ let prom_grammar_ok text =
               if !k >= n || line.[!k] <> '"' then ok := false
               else begin
                 incr k;
-                while
-                  !k < n && line.[!k] <> '"'
-                  || (!k < n && line.[!k] = '"' && line.[!k - 1] = '\\')
-                do
-                  incr k
+                (* escape-aware: a backslash consumes the next char, so a
+                   value ending in an escaped backslash still terminates *)
+                while !k < n && line.[!k] <> '"' do
+                  if line.[!k] = '\\' then k := !k + 2 else incr k
                 done;
                 if !k >= n then ok := false
                 else begin
@@ -348,6 +375,98 @@ let prop_prometheus_grammar =
           | _ -> Metrics.observe m (Printf.sprintf "h%d" name_i) v)
         spec;
       prom_grammar_ok (Metrics.to_prometheus reg))
+
+(* Inverse of the exposition escaping: only backslash, double-quote and
+   newline are escaped by [to_prometheus]; anything else after a
+   backslash is kept verbatim so a damaged line cannot silently decode
+   to the wrong value. *)
+let prom_unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '\\' && !i + 1 < n then begin
+      (match s.[!i + 1] with
+      | '\\' -> Buffer.add_char b '\\'
+      | '"' -> Buffer.add_char b '"'
+      | 'n' -> Buffer.add_char b '\n'
+      | c ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* Escape-aware extraction of [key]'s raw (still escaped) value from a
+   sample line — [String.index] would be fooled by ['"'] or [','] inside
+   values.  Assumes the line's label set contains [key] first. *)
+let label_value line key =
+  match String.index_opt line '{' with
+  | None -> None
+  | Some brace ->
+      let n = String.length line in
+      let prefix = key ^ "=\"" in
+      let plen = String.length prefix in
+      let start = brace + 1 in
+      if start + plen > n || String.sub line start plen <> prefix then None
+      else begin
+        let from = start + plen in
+        let j = ref from in
+        let fin = ref None in
+        while !fin = None && !j < n do
+          if line.[!j] = '\\' then j := !j + 2
+          else if line.[!j] = '"' then fin := Some !j
+          else incr j
+        done;
+        Option.map (fun e -> String.sub line from (e - from)) !fin
+      end
+
+(* Label values drawn to hit every escaping hazard: backslashes, quotes,
+   newlines, and the grammar's own delimiters. *)
+let arb_label_values =
+  QCheck2.Gen.(
+    list_size (int_range 1 12)
+      (string_size ~gen:
+         (frequency
+            [ (6, printable); (2, return '\\'); (2, return '"');
+              (2, return '\n'); (1, oneofl [ '\t'; ','; '}'; '{'; '=' ]) ])
+         (int_range 0 20)))
+
+let prop_prometheus_label_roundtrip =
+  qtest "arbitrary label values survive the exposition line grammar" ~count:200
+    arb_label_values (fun values ->
+      let reg = Metrics.create () in
+      List.iteri
+        (fun i v ->
+          Metrics.gauge
+            (Metrics.sink ~labels:[ ("l", v) ] reg)
+            (Printf.sprintf "rt%d" i)
+            (float_of_int i))
+        values;
+      let prom = Metrics.to_prometheus reg in
+      if not (prom_grammar_ok prom) then false
+      else
+        let lines = String.split_on_char '\n' prom in
+        List.for_all
+          (fun (i, v) ->
+            let p = Printf.sprintf "rt%d{" i in
+            let plen = String.length p in
+            match
+              List.find_opt
+                (fun l -> String.length l > plen && String.sub l 0 plen = p)
+                lines
+            with
+            | None -> false
+            | Some line -> (
+                match label_value line "l" with
+                | None -> false
+                | Some raw -> prom_unescape raw = v))
+          (List.mapi (fun i v -> (i, v)) values))
 
 let test_prometheus_grammar_real_run () =
   let g = fst (Gen.udg (rng ()) ~n:14 ~side:4. ~radius:1.3) in
@@ -528,11 +647,13 @@ let () =
           Alcotest.test_case "merge_into" `Quick test_merge_into;
           Alcotest.test_case "kv order-independent" `Quick test_kv_is_order_independent;
           Alcotest.test_case "timed hook" `Quick test_timed;
+          Alcotest.test_case "timed nesting" `Quick test_timed_nested;
         ] );
       ( "exposition",
         [
           Alcotest.test_case "kv/json/prom agree" `Quick test_formats_agree;
           prop_prometheus_grammar;
+          prop_prometheus_label_roundtrip;
           Alcotest.test_case "prom grammar on real run" `Quick
             test_prometheus_grammar_real_run;
         ] );
