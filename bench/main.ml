@@ -27,6 +27,7 @@ let experiments =
     ("stabilize", Experiments.stabilize);
     ("frames", Experiments.frames);
     ("serve", Experiments.serve);
+    ("shards", Experiments.shards);
     ("ablation", Experiments.ablation);
     ( "timing",
       fun (cfg : Experiments.config) ->
@@ -41,7 +42,7 @@ let experiments =
 let smoke_experiments =
   [
     "table1"; "fig8"; "fig13"; "faults"; "phases"; "stabilize"; "frames";
-    "serve"; "timing";
+    "serve"; "shards"; "timing";
   ]
 
 let names_arg =

@@ -75,6 +75,15 @@ let verbose_arg =
   let doc = "Log the algorithms' internal progress to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard the synchronous engine over $(docv) OCaml domains (distmis variants; 1 = \
+     sequential).  Results are bit-identical to the sequential engine; randomized MIS \
+     priorities switch from the shared-RNG Luby draw to hashed per-(node, phase) draws \
+     so they stay independent of step order."
+  in
+  Arg.(value & opt (checked_int ~min:1 "--domains") 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -211,24 +220,36 @@ let algo_conv =
       ("exact", Exact);
     ]
 
-let run_algo ?(metrics = Metrics.null) ?(spans = Span.null) algo seed g =
+let run_algo ?(metrics = Metrics.null) ?(spans = Span.null) ?(domains = 1) algo seed g =
   let rng () = Random.State.make [| seed; 0xA5 |] in
+  (* multi-domain runs swap Luby's shared-RNG priorities for hashed
+     per-(node, phase) draws: same algorithm family, but every draw is
+     independent of engine step order, so the parallel engine reproduces
+     the sequential run bit for bit *)
+  let mis_random () = if domains > 1 then Mis.Hashed seed else Mis.Luby (rng ()) in
+  let engine =
+    if domains <= 1 then None
+    else Some (Fdlsp_sim.Parallel.runner ~spans ~domains ())
+  in
   Metrics.timed metrics "fdlsp_run" (fun () ->
       Span.span spans "run" @@ fun () ->
       match algo with
       | Dist_gbg ->
           let r =
-            Dist_mis.run ~metrics ~spans ~mis:(Mis.Luby (rng ())) ~variant:Dist_mis.Gbg g
+            Dist_mis.run ?engine ~metrics ~spans ~mis:(mis_random ())
+              ~variant:Dist_mis.Gbg g
           in
           (r.Dist_mis.schedule, Some r.Dist_mis.stats)
       | Dist_general ->
           let r =
-            Dist_mis.run ~metrics ~spans ~mis:(Mis.Luby (rng ()))
+            Dist_mis.run ?engine ~metrics ~spans ~mis:(mis_random ())
               ~variant:Dist_mis.General g
           in
           (r.Dist_mis.schedule, Some r.Dist_mis.stats)
       | Dist_gps ->
-          let r = Dist_mis.run ~metrics ~spans ~mis:Mis.Gps ~variant:Dist_mis.Gbg g in
+          let r =
+            Dist_mis.run ?engine ~metrics ~spans ~mis:Mis.Gps ~variant:Dist_mis.Gbg g
+          in
           (r.Dist_mis.schedule, Some r.Dist_mis.stats)
       | Dfs ->
           let r = Dfs_sched.run ~metrics ~spans g in
@@ -292,11 +313,11 @@ let schedule_cmd =
     let doc = "Append the run's metrics registry in $(docv) format (kv | json | prom)." in
     Arg.(value & opt (some metrics_format_conv) None & info [ "metrics" ] ~docv:"FMT" ~doc)
   in
-  let run graph algo seed show out save metrics_fmt verbose =
+  let run graph algo seed domains show out save metrics_fmt verbose =
     setup_logs verbose;
     let g = or_die graph in
     let reg = Metrics.create () in
-    let sched, stats = run_algo ~metrics:(Metrics.sink reg) algo seed g in
+    let sched, stats = run_algo ~metrics:(Metrics.sink reg) ~domains algo seed g in
     let sched = Schedule.normalize sched in
     (match save with None -> () | Some path -> Schedule.write_file path sched);
     let buf = Buffer.create 256 in
@@ -318,8 +339,8 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run a TDMA link scheduling algorithm")
     Term.(
-      const run $ graph_source $ algo $ seed_arg $ show $ out_arg $ save $ metrics_fmt
-      $ verbose_arg)
+      const run $ graph_source $ algo $ seed_arg $ domains_arg $ show $ out_arg $ save
+      $ metrics_fmt $ verbose_arg)
 
 (* --- faults ----------------------------------------------------------- *)
 
@@ -360,7 +381,8 @@ let faults_cmd =
     let doc = "Emit a JSON report instead of key=value lines." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run graph algo seed drop duplicate reorder corrupt crashes timeout json out verbose =
+  let run graph algo seed domains drop duplicate reorder corrupt crashes timeout json out
+      verbose =
     setup_logs verbose;
     let g = or_die graph in
     let open Fdlsp_sim in
@@ -370,6 +392,13 @@ let faults_cmd =
     in
     let config = { Reliable.default with Reliable.timeout } in
     let rng () = Random.State.make [| seed; 0xA5 |] in
+    let mis_random () = if domains > 1 then Mis.Hashed seed else Mis.Luby (rng ()) in
+    (* the engine carries the plan, so build one per run; lossy plans
+       fall back to the sequential ARQ synchronizer inside the runner *)
+    let engine faults =
+      if domains <= 1 then None
+      else Some (Parallel.runner ?faults ~config ~domains ())
+    in
     let algo_name, run_one =
       match algo with
       | F_dfs ->
@@ -381,16 +410,16 @@ let faults_cmd =
           ( "distmis",
             fun faults ->
               let r =
-                Dist_mis.run ?faults ~reliable:config ~mis:(Mis.Luby (rng ()))
-                  ~variant:Dist_mis.Gbg g
+                Dist_mis.run ?faults ?engine:(engine faults) ~reliable:config
+                  ~mis:(mis_random ()) ~variant:Dist_mis.Gbg g
               in
               (r.Dist_mis.schedule, r.Dist_mis.stats) )
       | F_distmis_general ->
           ( "distmis-general",
             fun faults ->
               let r =
-                Dist_mis.run ?faults ~reliable:config ~mis:(Mis.Luby (rng ()))
-                  ~variant:Dist_mis.General g
+                Dist_mis.run ?faults ?engine:(engine faults) ~reliable:config
+                  ~mis:(mis_random ()) ~variant:Dist_mis.General g
               in
               (r.Dist_mis.schedule, r.Dist_mis.stats) )
     in
@@ -464,8 +493,8 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:"Run a scheduler over a faulty network and patch crash damage locally")
     Term.(
-      const run $ graph_source $ algo $ seed_arg $ drop $ duplicate $ reorder $ corrupt
-      $ crashes $ timeout $ json $ out_arg $ verbose_arg)
+      const run $ graph_source $ algo $ seed_arg $ domains_arg $ drop $ duplicate
+      $ reorder $ corrupt $ crashes $ timeout $ json $ out_arg $ verbose_arg)
 
 (* --- stabilize --------------------------------------------------------- *)
 
@@ -973,11 +1002,11 @@ let metrics_cmd =
     let doc = "Export format: kv (stable key=value), json, or prom (Prometheus text)." in
     Arg.(value & opt metrics_format_conv `Kv & info [ "f"; "format" ] ~docv:"FMT" ~doc)
   in
-  let run graph algo seed format out verbose =
+  let run graph algo seed domains format out verbose =
     setup_logs verbose;
     let g = or_die graph in
     let reg = Metrics.create () in
-    let _sched, _stats = run_algo ~metrics:(Metrics.sink reg) algo seed g in
+    let _sched, _stats = run_algo ~metrics:(Metrics.sink reg) ~domains algo seed g in
     emit out (metrics_dump format reg)
   in
   Cmd.v
@@ -985,7 +1014,9 @@ let metrics_cmd =
        ~doc:
          "Run a scheduling algorithm and print its metrics registry (counters, gauges, \
           histograms and timelines) in kv, JSON or Prometheus format")
-    Term.(const run $ graph_source $ algo $ seed_arg $ format $ out_arg $ verbose_arg)
+    Term.(
+      const run $ graph_source $ algo $ seed_arg $ domains_arg $ format $ out_arg
+      $ verbose_arg)
 
 (* --- profile ----------------------------------------------------------- *)
 
@@ -1018,11 +1049,13 @@ let profile_cmd =
       & opt (checked_int ~min:2 "--capacity") 65_536
       & info [ "capacity" ] ~docv:"N" ~doc)
   in
-  let run graph algo seed chrome folded capacity out verbose =
+  let run graph algo seed domains chrome folded capacity out verbose =
     setup_logs verbose;
     let g = or_die graph in
     let spans = Span.recorder ~capacity () in
-    let (_ : Schedule.t * Fdlsp_sim.Stats.t option) = run_algo ~spans algo seed g in
+    let (_ : Schedule.t * Fdlsp_sim.Stats.t option) =
+      run_algo ~spans ~domains algo seed g
+    in
     let entries = Span.entries spans in
     (* a complete profile must nest perfectly; anything else is a bug in
        the instrumentation, not in the user's invocation *)
@@ -1048,7 +1081,7 @@ let profile_cmd =
          "Run a scheduling algorithm under the causal span profiler and export the \
           span tree as folded stacks (default) and/or Chrome trace_event JSON")
     Term.(
-      const run $ graph_source $ algo $ seed_arg $ chrome_arg $ folded_arg
+      const run $ graph_source $ algo $ seed_arg $ domains_arg $ chrome_arg $ folded_arg
       $ capacity_arg $ out_arg $ verbose_arg)
 
 (* --- doctor ------------------------------------------------------------ *)

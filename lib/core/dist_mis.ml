@@ -48,6 +48,22 @@ type phase_state = {
 }
 
 
+(* A conflict scratch is reused across a phase's coloring steps, but it is
+   single-use at a time and the parallel engine steps nodes on several
+   domains at once: cache one scratch per domain instead, keyed (by
+   physical equality — one cached entry, not a leak-prone table) off the
+   graph it was built over. *)
+let scratch_key : (Graph.t * Conflict.scratch) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let domain_scratch g =
+  match Domain.DLS.get scratch_key with
+  | Some (g', s) when g' == g -> s
+  | _ ->
+      let s = Conflict.scratch g in
+      Domain.DLS.set scratch_key (Some (g, s));
+      s
+
 (* Colors the given arcs greedily against [known], updating [known] as
    it goes so a node's own simultaneous picks stay consistent. *)
 let greedy_assign ~scratch g known arcs =
@@ -96,7 +112,6 @@ let halo g chosen =
 let color_phase ~engine ?(trace = Trace.null) ?(metrics = Metrics.null) g sched ~chosen
     ~outgoing_only =
   let dist = halo g chosen in
-  let scratch = Conflict.scratch g in
   let own_table v =
     let out = ref [] in
     Arc.iter_incident g v (fun a ->
@@ -133,7 +148,8 @@ let color_phase ~engine ?(trace = Trace.null) ?(metrics = Metrics.null) g sched 
           let targets = ref [] in
           if outgoing_only then Arc.iter_out g v (fun a -> targets := a :: !targets)
           else Arc.iter_incident g v (fun a -> targets := a :: !targets);
-          state.assigned <- greedy_assign ~scratch g state.known (List.rev !targets);
+          state.assigned <-
+            greedy_assign ~scratch:(domain_scratch g) g state.known (List.rev !targets);
           (* the announce broadcast of the assignment *)
           ( state,
             Sync.Halt (send_to g v (Array.of_list state.assigned) ~keep:(fun _ -> true)) )

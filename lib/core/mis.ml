@@ -1,7 +1,31 @@
 open Fdlsp_graph
 open Fdlsp_sim
 
-type algo = Luby of Random.State.t | Local_min | Gps
+type algo = Luby of Random.State.t | Hashed of int | Local_min | Gps
+
+(* SplitMix64-style finalizer over the (seed, node, draw-index) triple:
+   each undecided node's phase priority is a pure function of what it is
+   drawing for, never of the order the engine steps nodes in — so Hashed
+   runs are identical on the sequential and domain-parallel engines. *)
+let hashed_draw ~seed v ctr =
+  let mix z =
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let z =
+    mix
+      (Int64.add
+         (Int64.mul (Int64.of_int (seed + 1)) 0x9e3779b97f4a7c15L)
+         (Int64.of_int v))
+  in
+  let z = mix (Int64.add z (Int64.of_int ctr)) in
+  (* top 53 bits -> [0, 1) at double precision *)
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1. /. 9007199254740992.)
 
 type status = Undecided | In_mis | Dominated
 
@@ -78,6 +102,17 @@ let compute ?(engine = Reliable.raw_runner) ?(metrics = Metrics.null) ~algo g ~a
   | Luby rng ->
       compute_priority_based ~engine ~metrics
         ~draw:(fun _v -> Random.State.float rng 1.)
+        g ~active
+  | Hashed seed ->
+      (* per-node draw counters: slot v is touched only inside node v's
+         step, so the only mutation is owner-shard-local under the
+         parallel engine *)
+      let draws = Array.make (Graph.n g) 0 in
+      compute_priority_based ~engine ~metrics
+        ~draw:(fun v ->
+          let c = draws.(v) in
+          draws.(v) <- c + 1;
+          hashed_draw ~seed v c)
         g ~active
   | Local_min -> compute_priority_based ~engine ~metrics ~draw:(fun _v -> 0.) g ~active
   | Gps ->

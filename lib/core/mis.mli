@@ -13,7 +13,16 @@ open Fdlsp_graph
 open Fdlsp_sim
 
 type algo =
-  | Luby of Random.State.t  (** random priorities each phase *)
+  | Luby of Random.State.t
+      (** random priorities each phase, drawn from a shared RNG in
+          engine step order — correct, but the drawn values depend on
+          that order, so only the sequential-replay engines reproduce a
+          given run *)
+  | Hashed of int
+      (** random priorities from a per-(seed, node, phase) hash: the
+          same distributional behavior as {!Luby}, but each draw is a
+          pure function of what it is for, never of step order — the
+          randomized choice for the domain-parallel engine *)
   | Local_min  (** node ids as fixed priorities; deterministic *)
   | Gps
       (** deterministic Goldberg-Plotkin-Shannon pipeline ({!Gps}):

@@ -84,13 +84,20 @@ type 'msg engine = {
   mutable gave_up : int;
   mutable used_timers : bool;
   mutable last_user : float;  (* time of the last user-level delivery *)
-  (* FIFO guarantee: next admissible delivery time per directed channel *)
-  channel_front : (int * int, float) Hashtbl.t;
-  (* ARQ state, used only when [rel] is set *)
-  tx_seq : (int * int, int) Hashtbl.t;
-  unacked : (int * int * int, 'msg * int) Hashtbl.t;  (* payload, tries *)
-  rx_next : (int * int, int) Hashtbl.t;
-  rx_buf : (int * int * int, 'msg) Hashtbl.t;
+  (* Per-channel state is flat: a directed channel (src, dst) is the arc
+     [Arc.make g src dst], a dense id in [0 .. 2m-1], so the FIFO fronts
+     and ARQ counters live in plain arrays instead of the (src, dst)
+     hashtables this used to carry — those were created at a fixed
+     capacity of 64, rehashed repeatedly at large n, and allocated a
+     tuple key per send on the hot path. *)
+  channel_front : float array;  (* next admissible delivery time; [-inf) = free *)
+  (* ARQ state, used only when [rel] is set.  [unacked]/[rx_buf] are
+     keyed (arc, seq) — seq is unbounded, so they stay hashtables, but
+     sized by the graph instead of a constant. *)
+  tx_seq : int array;
+  unacked : (int * int, 'msg * int) Hashtbl.t;  (* payload, tries *)
+  rx_next : int array;
+  rx_buf : (int * int, 'msg) Hashtbl.t;
 }
 
 type 'msg ctx = { engine : 'msg engine; node : int }
@@ -161,13 +168,9 @@ let crashed_now e v = match e.session with
 (* FIFO-clamped arrival time on channel (src, dst) *)
 let fifo_arrival e src dst =
   let arrival = e.clock +. draw_delay e in
-  let key = (src, dst) in
-  let arrival =
-    match Hashtbl.find_opt e.channel_front key with
-    | Some front when front > arrival -> front
-    | _ -> arrival
-  in
-  Hashtbl.replace e.channel_front key arrival;
+  let a = Arc.make e.g src dst in
+  let arrival = if e.channel_front.(a) > arrival then e.channel_front.(a) else arrival in
+  e.channel_front.(a) <- arrival;
   arrival
 
 let send_plain e src dst payload =
@@ -217,10 +220,10 @@ let transmit_rack e src dst sq =
       done
 
 let send_arq e cfg src dst payload =
-  let key = (src, dst) in
-  let sq = match Hashtbl.find_opt e.tx_seq key with Some s -> s | None -> 0 in
-  Hashtbl.replace e.tx_seq key (sq + 1);
-  Hashtbl.replace e.unacked (src, dst, sq) (payload, 0);
+  let a = Arc.make e.g src dst in
+  let sq = e.tx_seq.(a) in
+  e.tx_seq.(a) <- sq + 1;
+  Hashtbl.replace e.unacked (a, sq) (payload, 0);
   transmit_rdata e src dst sq payload;
   schedule e
     (e.clock +. cfg.Reliable.timeout)
@@ -277,7 +280,7 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
     else
       match faults with
       | Some p ->
-          List.sort compare
+          List.sort Trace.compare_boundary
             (List.concat_map
                (fun c ->
                  let crash = (c.Fault.at, Trace.Crash c.Fault.node) in
@@ -308,11 +311,14 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
       gave_up = 0;
       used_timers = false;
       last_user = 0.;
-      channel_front = Hashtbl.create 64;
-      tx_seq = Hashtbl.create 64;
-      unacked = Hashtbl.create 64;
-      rx_next = Hashtbl.create 64;
-      rx_buf = Hashtbl.create 64;
+      (* plain sends use the FIFO clamp, ARQ frames the seq counters;
+         only the arrays the configuration can touch are allocated *)
+      channel_front =
+        (if reliable = None then Array.make (Arc.count g) neg_infinity else [||]);
+      tx_seq = (if reliable = None then [||] else Array.make (Arc.count g) 0);
+      unacked = Hashtbl.create (max 64 (Graph.n g));
+      rx_next = (if reliable = None then [||] else Array.make (Arc.count g) 0);
+      rx_buf = Hashtbl.create (max 64 (Graph.n g));
     }
   in
   let states = Array.init (Graph.n g) init in
@@ -387,29 +393,26 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
         if crashed_now engine dst then drop_crashed ~src ~dst
         else begin
           transmit_rack engine dst src seq;
-          let key = (src, dst) in
-          let expected =
-            match Hashtbl.find_opt engine.rx_next key with Some x -> x | None -> 0
-          in
-          if seq >= expected then Hashtbl.replace engine.rx_buf (src, dst, seq) payload;
+          let a = Arc.make g src dst in
+          if seq >= engine.rx_next.(a) then Hashtbl.replace engine.rx_buf (a, seq) payload;
           let rec flush exp =
-            match Hashtbl.find_opt engine.rx_buf (src, dst, exp) with
+            match Hashtbl.find_opt engine.rx_buf (a, exp) with
             | Some p ->
-                Hashtbl.remove engine.rx_buf (src, dst, exp);
-                Hashtbl.replace engine.rx_next key (exp + 1);
+                Hashtbl.remove engine.rx_buf (a, exp);
+                engine.rx_next.(a) <- exp + 1;
                 deliver_user ~src ~dst p;
                 flush (exp + 1)
             | None -> ()
           in
-          flush
-            (match Hashtbl.find_opt engine.rx_next key with Some x -> x | None -> 0)
+          flush engine.rx_next.(a)
         end
     | RAck { src; dst; seq } ->
         (* [dst] is the original sender waiting on this ack *)
         if crashed_now engine dst then drop_crashed ~src ~dst
-        else Hashtbl.remove engine.unacked (dst, src, seq)
+        else Hashtbl.remove engine.unacked (Arc.make g dst src, seq)
     | Rto { src; dst; seq; interval } -> (
-        match Hashtbl.find_opt engine.unacked (src, dst, seq) with
+        let a = Arc.make g src dst in
+        match Hashtbl.find_opt engine.unacked (a, seq) with
         | None -> ()  (* acknowledged *)
         | Some (payload, tries) ->
             let cfg = Option.get engine.rel in
@@ -419,7 +422,7 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
             else (
               match cfg.Reliable.max_retries with
               | Some budget when tries >= budget ->
-                  Hashtbl.remove engine.unacked (src, dst, seq);
+                  Hashtbl.remove engine.unacked (a, seq);
                   engine.gave_up <- engine.gave_up + 1;
                   temit engine (Trace.Give_up { src; dst });
                   (match session with
@@ -428,7 +431,7 @@ let run ?(delay = Unit) ?(max_events = 1_000_000) ?(weight = fun _ -> 1) ?faults
                       temit engine (Trace.Drop { src; dst })
                   | None -> ())
               | _ ->
-                  Hashtbl.replace engine.unacked (src, dst, seq) (payload, tries + 1);
+                  Hashtbl.replace engine.unacked (a, seq) (payload, tries + 1);
                   engine.retransmits <- engine.retransmits + 1;
                   engine.sent <- engine.sent + 1;
                   engine.volume <- engine.volume + max 1 (engine.weight payload);

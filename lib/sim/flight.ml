@@ -64,7 +64,8 @@ let dump t ~reason path =
                | '\n' -> "\\n"
                | c -> String.make 1 c)
              (List.init (String.length reason) (String.get reason))))
-       (Unix.gettimeofday ())
+       (* dump labels are for humans: wall-clock, not the monotone clamp *)
+       (Clock.wall ())
        (Array.length span_entries)
        (Span.overwritten t.spans)
        (Array.length trace_events)

@@ -294,6 +294,9 @@ module Name = struct
   let admission_shed = "fdlsp_admission_shed_total"
   let admission_queue_depth = "fdlsp_admission_queue_depth"
   let admission_degraded = "fdlsp_admission_degraded"
+  let parallel_shards = "fdlsp_parallel_shards"
+  let parallel_barrier_frac = "fdlsp_parallel_barrier_frac"
+  let parallel_cut_frac = "fdlsp_parallel_cut_frac"
 end
 
 (* Record a whole [Stats.t] through the sink: the engines call this once
@@ -320,14 +323,16 @@ let timed m name f =
   match m with
   | Null -> f ()
   | Active _ ->
-      let t0 = Unix.gettimeofday () in
+      (* monotone clock: a wall-clock step must not turn the duration
+         negative (Span clamps; this path previously did not) *)
+      let t0 = Clock.now () in
       let g0 = Gc.quick_stat () in
       (* [quick_stat]'s minor_words only advances at minor collections;
          [Gc.minor_words ()] reads the live allocation pointer, so short
          sections still report their allocations *)
       let m0 = Gc.minor_words () in
       let finish () =
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Clock.now () -. t0 in
         let g1 = Gc.quick_stat () in
         let m1 = Gc.minor_words () in
         let major st = st.Gc.major_words -. st.Gc.promoted_words in
@@ -385,14 +390,21 @@ let gauge_value ?(labels = []) reg name =
 
 let histogram ?(labels = []) reg name =
   let filter = normalize labels in
-  Hashtbl.fold
-    (fun (n, ls) v acc ->
-      if n = name && superset ~filter ls then
-        match v with
-        | Histo h -> Some (match acc with None -> h | Some a -> Hist.merge a h)
-        | _ -> acc
-      else acc)
-    reg.tbl None
+  (* collect, then merge in sorted label-set order: [Hist.merge] adds
+     float sums, so folding in the table's hash order would make the
+     merged [sum] depend on internal layout (a determinism hazard once
+     shard registries multiply the label sets) *)
+  let matching =
+    Hashtbl.fold
+      (fun (n, ls) v acc ->
+        if n = name && superset ~filter ls then
+          match v with Histo h -> (ls, h) :: acc | _ -> acc
+        else acc)
+      reg.tbl []
+  in
+  match List.sort (fun (l1, _) (l2, _) -> compare l1 l2) matching with
+  | [] -> None
+  | (_, h) :: rest -> Some (List.fold_left (fun a (_, h) -> Hist.merge a h) h rest)
 
 let series_points ?(labels = []) reg name =
   let filter = normalize labels in
@@ -438,6 +450,16 @@ let merge_into ~dst src =
               end)
             (List.rev s.pts))
     src.tbl
+
+(* A fresh private registry wearing the same labels and scale as the
+   given sink: the [Parallel] engine hands one to each shard (the shared
+   registry is not thread-safe) and folds them back with [merge_into] at
+   the terminal barrier. *)
+let fork = function
+  | Null -> None
+  | Active a ->
+      let reg = create () in
+      Some (reg, Active { a with reg })
 
 (* ------------------------------------------------------------------ *)
 (* Sliding windows                                                    *)

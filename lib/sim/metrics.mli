@@ -73,7 +73,8 @@ val add_stats : sink -> Stats.t -> unit
 
 val timed : sink -> string -> (unit -> 'a) -> 'a
 (** [timed m name f] runs [f] and records, under [name]:
-    [name_seconds] (wall-clock histogram, [Unix.gettimeofday]),
+    [name_seconds] (a histogram of {!Clock.now} durations — monotone,
+    so an NTP step cannot produce a negative observation),
     [name_alloc_words_total] (GC-allocated words, minor + major -
     promoted deltas) and [name_major_collections_total].  With the null
     sink it is exactly [f ()].  Records even when [f] raises. *)
@@ -140,6 +141,15 @@ val to_stats : ?labels:labels -> t -> Stats.t
 val merge_into : dst:t -> t -> unit
 (** Fold [src] into [dst]: counters add, gauges overwrite, histograms
     merge, series append. *)
+
+val fork : sink -> (t * sink) option
+(** [fork m] is a fresh private registry plus a sink on it carrying
+    [m]'s labels and scale, or [None] for the null sink.  The registry
+    behind a sink is not thread-safe, so the {!Parallel} engine forks
+    one sink per shard and folds the private registries back into [m]'s
+    registry with {!merge_into} at the terminal barrier (exact counter
+    counts; histogram [sum]s may differ from a sequential run in float
+    rounding only, since addition order changes). *)
 
 (** {1 Sliding windows}
 
@@ -298,4 +308,16 @@ module Name : sig
 
   val admission_degraded : string
   (** Gauge: 1 while the controller is in degraded mode, else 0. *)
+
+  val parallel_shards : string
+  (** Gauge: number of shards (domains) the parallel engine ran with. *)
+
+  val parallel_barrier_frac : string
+  (** Gauge: fraction of the parallel section's aggregate capacity
+      ([shards x wall-clock]) spent waiting at round barriers rather
+      than stepping nodes.  0 = perfectly balanced shards. *)
+
+  val parallel_cut_frac : string
+  (** Gauge: fraction of edges crossing shard boundaries under the
+      partition the run used. *)
 end

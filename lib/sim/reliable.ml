@@ -53,7 +53,7 @@ let run_sync ?max_rounds ?(weight = fun _ -> 1) ?(faults = Fault.none) ?(config 
     if not traced then ref []
     else
       ref
-        (List.sort compare
+        (List.sort Trace.compare_boundary
            (List.concat_map
               (fun c ->
                 let crash = (c.Fault.at, Trace.Crash c.Fault.node) in

@@ -38,7 +38,7 @@ let null = Null
 let dummy_entry = Mark { t = 0.; name = ""; args = [] }
 let default_capacity = 65_536
 
-let recorder ?(capacity = default_capacity) ?(clock = Unix.gettimeofday) () =
+let recorder ?(capacity = default_capacity) ?(clock = Clock.now) () =
   if capacity < 2 then invalid_arg "Span.recorder: capacity must be >= 2";
   Rec
     {

@@ -38,7 +38,8 @@ val recorder : ?capacity:int -> ?clock:(unit -> float) -> unit -> sink
     (default 65536; an entry is ~5 words plus its name, so the default
     ring is a few MB at worst). When full, the oldest entries are
     overwritten — always-on flight-recorder semantics. [clock] defaults
-    to [Unix.gettimeofday]; timestamps are clamped monotone.
+    to {!Clock.now} (process-wide monotone); timestamps are additionally
+    clamped monotone per recorder.
     @raise Invalid_argument if [capacity < 2]. *)
 
 val enabled : sink -> bool

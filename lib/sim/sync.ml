@@ -35,7 +35,7 @@ let run ?max_rounds ?(weight = fun _ -> 1) ?faults ?corrupt ?blip ?(trace = Trac
                 | Some u -> [ crash; (u, Trace.Recover c.Fault.node) ])
               (Fault.crashes p)
           in
-          ref (List.sort compare evs)
+          ref (List.sort Trace.compare_boundary evs)
       | None -> ref []
   in
   let emit_boundaries now =

@@ -25,6 +25,22 @@ type event =
 
 type timed = { t : float; ev : event }
 
+(* The crash/recover boundary sort shared by the engines: ascending
+   time, [Crash] before [Recover] at equal times (preserving crash-
+   window alternation), then node.  Explicit, because the generic
+   structural compare it replaces was slow on the hot path and silently
+   coupled to the constructor declaration order above — adding a
+   constructor before [Crash] would have reordered every boundary
+   list. *)
+let compare_boundary (t1, e1) (t2, e2) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c
+  else
+    let rank = function Crash _ -> 0 | Recover _ -> 1 | _ -> 2 in
+    let node = function Crash v | Recover v -> v | _ -> -1 in
+    let c = Int.compare (rank e1) (rank e2) in
+    if c <> 0 then c else Int.compare (node e1) (node e2)
+
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1148,10 +1164,20 @@ module Replay = struct
           | _ -> ())
         evs;
       if require_synced then
-        Hashtbl.iter
-          (fun node td ->
-            rejectf "node %d still desynced at end of trace (since t=%g)" node td)
-          desynced_at;
+        (* report the smallest desynced node: Hashtbl.iter would pick
+           whichever the hash order yields first, making the error
+           message (and any test pinning it) layout-dependent *)
+        (match
+           Hashtbl.fold
+             (fun node td acc ->
+               match acc with
+               | Some (n0, _) when n0 <= node -> acc
+               | _ -> Some (node, td))
+             desynced_at None
+         with
+        | Some (node, td) ->
+            rejectf "node %d still desynced at end of trace (since t=%g)" node td
+        | None -> ());
       Ok
         {
           f_events = Array.length evs;

@@ -73,6 +73,12 @@ type timed = { t : float; ev : event }
 (** [t] is the emitting engine's local clock (the round number for the
     synchronous engines). *)
 
+val compare_boundary : float * event -> float * event -> int
+(** The order of plan crash/recovery boundary lists inside the engines:
+    ascending time, {!Crash} before {!Recover} at equal times (so a
+    crash window's alternation survives the sort), then node.  Explicit
+    so it cannot drift with the constructor declaration order. *)
+
 (** {2 Sinks} *)
 
 type sink
